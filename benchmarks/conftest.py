@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper on a reduced
+campaign (two workloads per suite, short traces) so the whole harness runs in
+minutes on a laptop.  The experiment context is session-scoped so all
+benchmarks replay the exact same traces; use
+``python -m pytest benchmarks --benchmark-only -s`` to see the regenerated
+tables/figures inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiments import ExperimentContext
+from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+#: Trace length per workload used by the benchmark campaign.
+BENCH_INSTRUCTIONS = 8_000
+
+#: RNG seed of the benchmark campaign.
+BENCH_SEED = 2008
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared reduced experiment campaign."""
+    return ExperimentContext(
+        fp_suite=quick_fp_suite(),
+        int_suite=quick_int_suite(),
+        instructions_per_workload=BENCH_INSTRUCTIONS,
+        seed=BENCH_SEED,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

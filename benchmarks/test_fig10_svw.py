@@ -1,0 +1,51 @@
+"""Figure 10: Store Vulnerability Window re-execution on small and large windows.
+
+Paper expectation: the large window re-executes far more loads per committed
+instruction than the 64-entry ROB; fewer SSBF index bits mean more
+re-executions; the Blind variant re-executes at least as much as CheckStores.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sim.experiments import fig10_svw_reexecution
+from repro.sim.tables import format_fig10
+
+
+def test_fig10_svw_reexecution(benchmark, context):
+    points = run_once(benchmark, fig10_svw_reexecution, context)
+    print()
+    print(format_fig10(points))
+
+    def mean_reexec(machine, variant, bits):
+        values = [
+            point.reexecutions_per_100m
+            for point in points
+            if point.machine_label == machine and point.variant == variant and point.ssbf_bits == bits
+        ]
+        return sum(values) / len(values)
+
+    def mean_rel_ipc(machine, variant, bits):
+        values = [
+            point.relative_ipc
+            for point in points
+            if point.machine_label == machine and point.variant == variant and point.ssbf_bits == bits
+        ]
+        return sum(values) / len(values)
+
+    # The large window re-executes more than the small window (same filter).
+    assert mean_reexec("FMC", "Blind", 10) > mean_reexec("OoO-64", "Blind", 10)
+
+    # Fewer index bits -> more aliasing -> more re-executions.
+    assert mean_reexec("FMC", "Blind", 8) >= mean_reexec("FMC", "Blind", 12)
+
+    # The no-unresolved-store filter only ever removes re-executions.
+    for bits in (8, 10, 12):
+        assert mean_reexec("FMC", "CheckStores", bits) <= mean_reexec("FMC", "Blind", bits) + 1.0
+
+    # Re-execution costs IPC but never more than ~15% in this campaign.
+    for machine in ("OoO-64", "FMC"):
+        for bits in (8, 10, 12):
+            assert mean_rel_ipc(machine, "Blind", bits) > 0.85
+            assert mean_rel_ipc(machine, "CheckStores", bits) <= 1.02

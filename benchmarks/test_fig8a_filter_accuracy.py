@@ -1,0 +1,35 @@
+"""Figure 8a: ERT false positives versus filter size.
+
+Paper expectation: false positives drop steeply with more hash bits; an ERT
+of at least 4 KB (10 bits) keeps useless global searches below roughly one
+per hundred instructions; the line-based table achieves comparable accuracy.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sim.experiments import fig8a_filter_accuracy
+from repro.sim.tables import format_fig8a
+
+
+def test_fig8a_filter_accuracy(benchmark, context):
+    points = run_once(benchmark, fig8a_filter_accuracy, context)
+    print()
+    print(format_fig8a(points))
+
+    by_label = {point.label: point for point in points}
+    few_bits = by_label["6 bits"]
+    paper_bits = by_label["10 bits"]
+    many_bits = by_label["16 bits"]
+
+    for suite in ("SPEC FP", "SPEC INT"):
+        # Monotone improvement with filter size.
+        assert few_bits.false_positives_per_100m[suite] >= paper_bits.false_positives_per_100m[suite]
+        assert paper_bits.false_positives_per_100m[suite] >= many_bits.false_positives_per_100m[suite]
+        # The paper's 10-bit (4 KB) point keeps false searches below ~1 per
+        # 100 instructions = 1M per 100M instructions.
+        assert paper_bits.false_positives_per_100m[suite] < 1_500_000
+
+    # Storage bookkeeping matches the paper's sizing: 10 bits -> 4 KB total.
+    assert by_label["10 bits"].storage_bytes == 4 * 1024

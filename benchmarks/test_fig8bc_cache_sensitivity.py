@@ -1,0 +1,36 @@
+"""Figure 8b/c: line-based versus hash-based ERT under varying L1 geometry.
+
+Paper expectation: the line-based ERT (which must lock lines in the L1) loses
+performance at low associativity and recovers by 4-way; the hash-based ERT is
+insensitive to the cache geometry; SPEC INT is more sensitive than SPEC FP.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sim.experiments import fig8bc_cache_sensitivity
+from repro.sim.tables import format_fig8bc
+
+
+def test_fig8bc_cache_sensitivity(benchmark, context):
+    points = run_once(benchmark, fig8bc_cache_sensitivity, context, l1_sizes_kb=(32,))
+    print()
+    print(format_fig8bc(points))
+
+    def perf(suite, ert_substring, associativity):
+        for point in points:
+            if (
+                point.suite_label == suite
+                and ert_substring in point.ert_label
+                and point.associativity == associativity
+            ):
+                return point.relative_performance
+        raise AssertionError("missing point")
+
+    for suite in ("SPEC FP", "SPEC INT"):
+        # 4-way recovers (or exceeds) the direct-mapped line-based performance.
+        assert perf(suite, "CacheLine", 4) >= perf(suite, "CacheLine", 1) - 0.02
+        # Every configuration stays within sane bounds of the best.
+        for point in points:
+            assert 0.5 <= point.relative_performance <= 1.0 + 1e-9

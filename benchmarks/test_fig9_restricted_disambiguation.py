@@ -1,0 +1,41 @@
+"""Figure 9: restricted disambiguation models relative to full disambiguation.
+
+Paper expectation: restricted SAC costs at most a couple of percent (its
+slowdown concentrates in equake-like pointer-dereferencing stores), restricted
+LAC costs more than restricted SAC, and restricting both is close to
+restricted LAC.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.config import DisambiguationModel
+from repro.sim.experiments import fig9_restricted_models
+from repro.sim.tables import format_fig9
+
+
+def test_fig9_restricted_models(benchmark, context):
+    points = run_once(benchmark, fig9_restricted_models, context)
+    print()
+    print(format_fig9(points))
+
+    by_model = {point.model: point for point in points}
+    full = by_model[DisambiguationModel.FULL]
+    rsac = by_model[DisambiguationModel.RESTRICTED_SAC]
+    rlac = by_model[DisambiguationModel.RESTRICTED_LAC]
+    both = by_model[DisambiguationModel.RESTRICTED_SAC_LAC]
+
+    for suite in ("SPEC FP", "SPEC INT"):
+        assert full.relative_by_suite[suite] == 1.0
+        # Every restricted model is at best a wash (small timing noise aside),
+        # never a meaningful gain.
+        assert rsac.relative_by_suite[suite] <= 1.05
+        assert rlac.relative_by_suite[suite] <= 1.05
+        # Restricted LAC hurts at least as much as restricted SAC (loads have
+        # far more miss-dependent address calculations than stores).
+        assert rlac.relative_by_suite[suite] <= rsac.relative_by_suite[suite] + 0.01
+        # Restricting both tracks restricted LAC.
+        assert abs(both.relative_by_suite[suite] - rlac.relative_by_suite[suite]) < 0.08
+        # Nothing collapses: all models stay within ~15% of full.
+        assert both.relative_by_suite[suite] > 0.80

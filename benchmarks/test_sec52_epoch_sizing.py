@@ -1,0 +1,27 @@
+"""Section 5.2: per-epoch load/store-queue sizing.
+
+Paper expectation: 64 load / 32 store entries per epoch stay within ~1% of an
+unlimited per-epoch LSQ (the paper accepts a 0.9% average slowdown).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sim.experiments import sec52_epoch_sizing
+from repro.sim.tables import format_sec52
+
+
+def test_sec52_epoch_sizing(benchmark, context):
+    points = run_once(benchmark, sec52_epoch_sizing, context)
+    print()
+    print(format_sec52(points))
+
+    by_sizing = {(point.load_entries, point.store_entries): point for point in points}
+    paper_sizing = by_sizing[(64, 32)]
+    # The paper's chosen sizing is within a few percent of unlimited.
+    assert paper_sizing.slowdown_vs_unlimited < 0.05
+    # Monotonicity: smaller queues never beat the unlimited reference by much.
+    unlimited_ipc = points[-1].mean_ipc
+    for point in points:
+        assert point.mean_ipc <= unlimited_ipc * 1.02

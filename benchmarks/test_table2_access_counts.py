@@ -1,0 +1,59 @@
+"""Table 2: accesses to the LSQ components per configuration.
+
+Paper expectation: the HL-SQ and the ERT are the most heavily accessed
+structures; the LL queues see far fewer accesses (spread over the epochs);
+SVW configurations stop accessing the load queues but pay SSBF lookups;
+restricted SAC reduces ERT accesses and network round trips relative to the
+full model / SVW.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.sim.experiments import table2_access_counts
+from repro.sim.tables import format_table2
+
+
+def test_table2_access_counts(benchmark, context):
+    rows = run_once(benchmark, table2_access_counts, context)
+    print()
+    print(format_table2(rows))
+
+    def row(config, suite):
+        for candidate in rows:
+            if candidate.config_name == config and candidate.suite_label == suite:
+                return candidate
+        raise AssertionError(f"missing row {config} / {suite}")
+
+    for suite in ("SPEC FP", "SPEC INT"):
+        ooo = row("OoO-64", suite)
+        elsq = row("FMC-Hash", suite)
+        svw = row("FMC-Hash-SVW", suite)
+        rsac = row("FMC-Hash-RSAC", suite)
+
+        # The baseline never touches low-locality structures.
+        assert ooo.accesses_millions["LL-LQ"] == 0
+        assert ooo.accesses_millions["LL-SQ"] == 0
+        assert ooo.accesses_millions["ERT"] == 0
+        assert ooo.speedup == 1.0
+
+        # On the ELSQ the HL-SQ dominates and the LL queues see fewer accesses.
+        assert elsq.accesses_millions["HL-SQ"] > elsq.accesses_millions["LL-SQ"]
+        assert elsq.accesses_millions["HL-SQ"] > elsq.accesses_millions["LL-LQ"]
+        assert elsq.accesses_millions["ERT"] > 0
+
+        # SVW removes load-queue searches and adds SSBF lookups.
+        assert svw.accesses_millions["HL-LQ"] == 0
+        assert svw.accesses_millions["SSBF"] > 0
+
+        # Restricted SAC does not add ERT traffic versus the SVW configuration
+        # (both remove the store-side Load-ERT lookups; small timing-induced
+        # differences in load counts are tolerated).
+        assert rsac.accesses_millions["ERT"] <= svw.accesses_millions["ERT"] * 1.05
+
+        # ... and it needs no more network round trips than SVW.
+        assert rsac.accesses_millions["RoundTrips"] <= svw.accesses_millions["RoundTrips"] * 1.05
+
+        # Large-window configurations are at least as fast as the baseline.
+        assert elsq.speedup >= 0.95

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the ELSQ filter and epoch sizing.
+
+A downstream architect adopting the ELSQ has two first-order knobs:
+
+* the **global disambiguation filter** -- line-based ERT (cheap, but coupled
+  to the L1 and its line locking) versus hash-based ERT at various index
+  widths (decoupled, accuracy costs SRAM), and
+* the **per-epoch queue sizing**, which trades area/power against how much of
+  the low-locality window each memory engine can buffer.
+
+This example sweeps both on a SPEC-FP-like workload and prints a small
+decision table: performance, false-positive traffic and estimated per-access
+energy of the filter.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import EnergyModel, Simulator, fmc_elsq, ooo_64
+from repro.common.config import ELSQConfig, ERTConfig, ERTKind
+from repro.workloads.spec_fp import equake_like, swim_like
+from repro.workloads.suite import WorkloadSuite
+
+INSTRUCTIONS = 8_000
+SUITE = WorkloadSuite(name="exploration", members=(swim_like(), equake_like()))
+
+
+def sweep_filters(traces) -> None:
+    print("-- ERT filter sweep (FP-like) --")
+    print(f"{'filter':<14} {'IPC':>6} {'false pos / 100M':>18} {'nJ / lookup':>12}")
+    baseline = Simulator(ooo_64()).run_suite(SUITE, traces=traces)
+    configurations = [("line", fmc_elsq(ert_kind=ERTKind.LINE, name="line"))]
+    configurations += [
+        (f"hash-{bits}b", fmc_elsq(ert_kind=ERTKind.HASH, hash_bits=bits, name=f"hash-{bits}"))
+        for bits in (6, 8, 10, 12, 14)
+    ]
+    for label, machine in configurations:
+        result = Simulator(machine).run_suite(SUITE, traces=traces)
+        energy = EnergyModel(machine.elsq, machine.hierarchy).per_access_energies_nj()["ert"]
+        print(
+            f"{label:<14} {result.mean_ipc:>6.2f} "
+            f"{result.mean_counter_per_100m('ert.false_positives'):>18,.0f} "
+            f"{energy:>12.5f}"
+        )
+    print(f"(OoO-64 baseline IPC for reference: {baseline.mean_ipc:.2f})\n")
+
+
+def sweep_epoch_sizes(traces) -> None:
+    print("-- per-epoch LSQ sizing sweep (FP-like) --")
+    print(f"{'LQ x SQ':<12} {'IPC':>6}")
+    for loads, stores in ((16, 8), (32, 16), (64, 32), (128, 64)):
+        machine = fmc_elsq(
+            epoch_load_entries=loads, epoch_store_entries=stores, name=f"{loads}x{stores}"
+        )
+        result = Simulator(machine).run_suite(SUITE, traces=traces)
+        print(f"{loads:>3} x {stores:<5} {result.mean_ipc:>6.2f}")
+    print()
+
+
+def main() -> None:
+    traces = SUITE.generate_traces(INSTRUCTIONS, seed=7)
+    sweep_filters(traces)
+    sweep_epoch_sizes(traces)
+    print("Default ELSQ configuration used by the paper:")
+    default = ELSQConfig()
+    print(f"  HL-LSQ: {default.hl_load_entries} loads / {default.hl_store_entries} stores")
+    print(
+        f"  LL-LSQ: {default.num_epochs} epochs x "
+        f"({default.epoch_load_entries} loads / {default.epoch_store_entries} stores)"
+    )
+    print(f"  filter: {ERTConfig().kind.value}-based, {ERTConfig().hash_bits} index bits")
+
+
+if __name__ == "__main__":
+    main()

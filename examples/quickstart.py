@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the ELSQ-equipped FMC against the OoO-64 baseline.
+
+This is the smallest end-to-end use of the library: build the two machines
+the paper compares in Figure 7, run them over a couple of SPEC-like synthetic
+workloads, and print IPC, speed-up and the headline ELSQ statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, fmc_hash, ooo_64
+from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+#: Instructions simulated per workload.  Increase for smoother numbers.
+INSTRUCTIONS = 12_000
+
+
+def main() -> None:
+    for label, suite in (("SPEC FP (quick)", quick_fp_suite()), ("SPEC INT (quick)", quick_int_suite())):
+        # Generate each workload's trace once so both machines replay the
+        # exact same instruction stream.
+        traces = suite.generate_traces(INSTRUCTIONS, seed=2008)
+
+        baseline = Simulator(ooo_64()).run_suite(suite, traces=traces)
+        elsq = Simulator(fmc_hash()).run_suite(suite, traces=traces)
+
+        print(f"== {label} ==")
+        print(f"  OoO-64 baseline IPC : {baseline.mean_ipc:.2f}")
+        print(f"  FMC + ELSQ IPC      : {elsq.mean_ipc:.2f}")
+        print(f"  speed-up            : {elsq.speedup_over(baseline):.2f}x")
+        print(
+            "  high-locality mode  : {:.0%} of cycles (LL-LSQ idle)".format(
+                elsq.mean_high_locality_fraction() or 0.0
+            )
+        )
+        print(
+            "  ERT lookups / false positives per 100M instructions: {:,.0f} / {:,.0f}".format(
+                elsq.mean_counter_per_100m("ert.lookups"),
+                elsq.mean_counter_per_100m("ert.false_positives"),
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The project is declared in ``pyproject.toml``; this file only exists so that
+fully offline environments (no access to PyPI for build-isolation
+requirements, no ``wheel`` package) can still do an editable install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+Regular environments should simply use ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Shared infrastructure for the ELSQ reproduction.
+
+This package groups the pieces that every other subsystem relies on:
+
+* :mod:`repro.common.errors` -- the exception hierarchy raised by the library.
+* :mod:`repro.common.rng` -- deterministic random number helpers so that every
+  experiment is reproducible from a single integer seed.
+* :mod:`repro.common.stats` -- counters, histograms and the statistics
+  registry used to account for every structure access the paper reports.
+* :mod:`repro.common.config` -- validated configuration dataclasses mirroring
+  Table 1 of the paper.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.stats import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "ConfigurationError",
+    "Counter",
+    "DeterministicRng",
+    "Histogram",
+    "ReproError",
+    "SimulationError",
+    "StatsRegistry",
+    "TraceError",
+    "WorkloadError",
+    "derive_seed",
+]

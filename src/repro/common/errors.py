@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ELSQ reproduction library.
+
+Every exception intentionally raised by the library derives from
+:class:`ReproError` so that callers embedding the simulator can catch a single
+base class.  More specific subclasses communicate *which* subsystem rejected
+the request:
+
+* :class:`ConfigurationError` -- an invalid or inconsistent configuration
+  value (for example a cache whose size is not a multiple of its line size).
+* :class:`WorkloadError` -- a workload generator was asked for something it
+  cannot produce (negative instruction counts, probabilities outside [0, 1]).
+* :class:`TraceError` -- a malformed instruction trace (bad operands, memory
+  operation without an address, unknown serialised record).
+* :class:`SimulationError` -- an internal inconsistency detected while a
+  simulation was running (these indicate bugs or mis-use of the low level
+  structures rather than bad user input).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid or internally inconsistent configuration value."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload generator received parameters it cannot honour."""
+
+
+class TraceError(ReproError, ValueError):
+    """An instruction trace is malformed or internally inconsistent."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """An invariant of the timing model or a hardware structure was violated."""

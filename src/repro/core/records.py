@@ -1,0 +1,185 @@
+"""Timed memory-operation records shared by every LSQ model.
+
+The timing cores (:mod:`repro.uarch`, :mod:`repro.fmc`) process the trace in
+program order and, for every load and store, hand the LSQ policy a *record*
+carrying the cycles the core has computed (decode, address-ready, data-ready,
+commit) together with the execution-locality classification and, for
+low-locality operations, the epoch the operation lives in.
+
+Because the simulator is one-pass, a record's timing fields are fully known
+by the time younger operations are processed; the LSQ structures therefore
+answer "was this store still buffered when that load issued?" by comparing
+cycles rather than by replaying allocation and deallocation events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+
+class Locality(enum.Enum):
+    """Execution-locality class of an instruction (Section 2.2)."""
+
+    HIGH = "high"
+    LOW = "low"
+
+
+@dataclass
+class LoadRecord:
+    """A load as seen by the LSQ models.
+
+    ``issue_cycle`` is the cycle the address becomes available and the load
+    searches the store queue(s) / accesses the cache.  ``commit_cycle`` is
+    filled in by the core once in-order commit reaches the load.
+    """
+
+    seq: int
+    address: int
+    size: int
+    decode_cycle: int
+    issue_cycle: int
+    locality: Locality
+    epoch_id: Optional[int] = None
+    #: Cycle at which the load migrated from the HL-LSQ to its LL epoch, or
+    #: ``None`` when it never migrated (Memory Processor idle).
+    migration_cycle: Optional[int] = None
+    commit_cycle: Optional[int] = None
+    forwarded_from: Optional[int] = None
+    #: Whether, at issue time, an older store with a not-yet-known address was
+    #: in flight between the forwarding store (if any) and this load.  Used by
+    #: the SVW "CheckStores" (no-unresolved-store) filter.
+    unresolved_older_store_at_issue: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SimulationError(f"load {self.seq}: size must be positive")
+        if self.issue_cycle < self.decode_cycle:
+            raise SimulationError(
+                f"load {self.seq}: issue cycle {self.issue_cycle} precedes decode "
+                f"cycle {self.decode_cycle}"
+            )
+        if self.locality is Locality.LOW and self.epoch_id is None:
+            raise SimulationError(f"load {self.seq}: low-locality loads must carry an epoch id")
+
+    @property
+    def line_address(self) -> int:
+        """The byte address of the first byte (alias for ``address``)."""
+        return self.address
+
+    def byte_range(self) -> tuple:
+        """Half-open byte range touched by this load."""
+        return (self.address, self.address + self.size)
+
+
+@dataclass
+class StoreRecord:
+    """A store as seen by the LSQ models.
+
+    ``addr_ready_cycle`` is when the store's address calculation completes;
+    ``data_ready_cycle`` when the store's data operand is available (a load
+    forwarding from this store before that point must wait);
+    ``commit_cycle`` when the store leaves the store queue and writes the
+    data cache.
+    """
+
+    seq: int
+    address: int
+    size: int
+    decode_cycle: int
+    addr_ready_cycle: int
+    data_ready_cycle: int
+    commit_cycle: int
+    locality: Locality
+    epoch_id: Optional[int] = None
+    #: Cycle at which the store migrated from the HL-LSQ to its LL epoch, or
+    #: ``None`` when it never migrated (Memory Processor idle).
+    migration_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SimulationError(f"store {self.seq}: size must be positive")
+        if self.addr_ready_cycle < self.decode_cycle:
+            raise SimulationError(
+                f"store {self.seq}: address-ready cycle precedes decode cycle"
+            )
+        if self.commit_cycle < self.addr_ready_cycle:
+            raise SimulationError(
+                f"store {self.seq}: commit cycle {self.commit_cycle} precedes address-ready "
+                f"cycle {self.addr_ready_cycle}"
+            )
+        if self.locality is Locality.LOW and self.epoch_id is None:
+            raise SimulationError(f"store {self.seq}: low-locality stores must carry an epoch id")
+
+    def byte_range(self) -> tuple:
+        """Half-open byte range written by this store."""
+        return (self.address, self.address + self.size)
+
+    def overlaps(self, address: int, size: int) -> bool:
+        """Whether this store writes any byte of ``[address, address + size)``."""
+        return self.address < address + size and address < self.address + self.size
+
+    def in_flight_at(self, cycle: int) -> bool:
+        """Whether the store still occupies a store-queue entry at ``cycle``."""
+        return self.decode_cycle <= cycle < self.commit_cycle
+
+    def address_known_at(self, cycle: int) -> bool:
+        """Whether the store's address calculation had completed by ``cycle``."""
+        return self.addr_ready_cycle <= cycle
+
+    def hl_resident_at(self, cycle: int) -> bool:
+        """Whether the store occupies a High-Locality SQ entry at ``cycle``.
+
+        A store lives in the HL-SQ from decode until it migrates to an epoch
+        or, if it never migrates, until it commits.
+        """
+        if cycle < self.decode_cycle:
+            return False
+        hl_end = self.commit_cycle if self.migration_cycle is None else self.migration_cycle
+        return cycle < hl_end
+
+    def ll_resident_at(self, cycle: int, epoch_commit_cycle: Optional[int] = None) -> bool:
+        """Whether the store occupies a Low-Locality (epoch) SQ entry at ``cycle``.
+
+        ``epoch_commit_cycle`` is the commit cycle of the store's epoch when
+        known; a still-open epoch is treated as live.
+        """
+        if self.migration_cycle is None or cycle < self.migration_cycle:
+            return False
+        if epoch_commit_cycle is None:
+            return True
+        return cycle < epoch_commit_cycle
+
+
+@dataclass(frozen=True)
+class ForwardingResult:
+    """Outcome of searching a store queue on behalf of a load."""
+
+    store: Optional[StoreRecord] = None
+    #: Entries examined by the associative search (for energy accounting).
+    entries_searched: int = 0
+
+    @property
+    def hit(self) -> bool:
+        """Whether a forwarding store was found."""
+        return self.store is not None
+
+
+@dataclass
+class EpochState:
+    """Lifecycle of one epoch (LL-LSQ bank) as seen by the LSQ models."""
+
+    epoch_id: int
+    open_cycle: int
+    commit_cycle: Optional[int] = None
+    instruction_count: int = 0
+    load_count: int = 0
+    store_count: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def live_at(self, cycle: int) -> bool:
+        """Whether the epoch still holds instructions at ``cycle``."""
+        return self.open_cycle <= cycle and (self.commit_cycle is None or cycle < self.commit_cycle)

@@ -1,0 +1,24 @@
+"""Energy model (Section 6 of the paper).
+
+The paper's energy argument combines two ingredients: per-access read/write
+energies obtained from CACTI 4.2 at 70 nm (only two values are quoted: a 2 KB
+ERT read costs 0.00195 nJ and a 32 KB L1 read costs 0.0958 nJ) and the
+structure access counts of Table 2.  This package provides both halves:
+
+* :mod:`repro.energy.cacti` -- a small analytical stand-in for CACTI anchored
+  on the two published values, distinguishing RAM reads from the much more
+  expensive CAM (associative) searches of the load/store queues.
+* :mod:`repro.energy.accounting` -- combines per-access energies with the
+  access counters of a simulation result into a per-structure and total
+  energy breakdown.
+"""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyModel
+from repro.energy.cacti import StructureKind, access_energy_nj
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "StructureKind",
+    "access_energy_nj",
+]

@@ -1,0 +1,116 @@
+"""Energy accounting: access counters x per-access energies.
+
+:class:`EnergyModel` turns a :class:`~repro.uarch.result.CoreResult` into an
+:class:`EnergyBreakdown`: for every structure the paper discusses in Section 6
+(HL-LQ, HL-SQ, LL-LQ, LL-SQ, ERT, SSBF, SQM, data cache) it multiplies the
+recorded access count by the per-access energy of a structure of that size and
+kind.  The absolute joule numbers are estimates; the *ratios* -- for example
+that the ERT contributes roughly 2% of the cache's read energy per access, or
+that RSAC saves ERT and round-trip energy relative to SVW -- are the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.config import ELSQConfig, MemoryHierarchyConfig
+from repro.energy.cacti import (
+    StructureKind,
+    access_energy_nj,
+    cam_search_energy_nj,
+    sram_read_energy_nj,
+)
+from repro.uarch.result import CoreResult
+
+#: Bytes per load/store queue entry (address + data + control state).
+_QUEUE_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-structure dynamic energy of one simulation run, in nanojoules."""
+
+    per_structure_nj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nj(self) -> float:
+        """Total dynamic energy across all accounted structures."""
+        return sum(self.per_structure_nj.values())
+
+    def fraction(self, structure: str) -> float:
+        """Fraction of the total contributed by ``structure`` (0.0 if absent)."""
+        total = self.total_nj
+        if total <= 0:
+            return 0.0
+        return self.per_structure_nj.get(structure, 0.0) / total
+
+    def nj(self, structure: str) -> float:
+        """Energy of one structure in nanojoules (0.0 if absent)."""
+        return self.per_structure_nj.get(structure, 0.0)
+
+
+class EnergyModel:
+    """Maps the Table 2 access counters of a result onto per-access energies."""
+
+    def __init__(
+        self,
+        elsq_config: Optional[ELSQConfig] = None,
+        hierarchy_config: Optional[MemoryHierarchyConfig] = None,
+    ) -> None:
+        self.elsq_config = elsq_config if elsq_config is not None else ELSQConfig()
+        self.hierarchy_config = (
+            hierarchy_config if hierarchy_config is not None else MemoryHierarchyConfig()
+        )
+
+    # ------------------------------------------------------------------
+    # Per-access energies
+    # ------------------------------------------------------------------
+
+    def per_access_energies_nj(self) -> Dict[str, float]:
+        """Return the per-access energy of every accounted structure."""
+        cfg = self.elsq_config
+        hierarchy = self.hierarchy_config
+        ert_bytes = cfg.ert.storage_bytes(hierarchy.l1) // 2  # one of the two tables
+        ssbf_bytes = cfg.svw.ssbf_entries * 2
+        return {
+            "hl_lq": cam_search_energy_nj(cfg.hl_load_entries, _QUEUE_ENTRY_BYTES),
+            "hl_sq": cam_search_energy_nj(cfg.hl_store_entries, _QUEUE_ENTRY_BYTES),
+            "ll_lq": cam_search_energy_nj(cfg.epoch_load_entries, _QUEUE_ENTRY_BYTES),
+            "ll_sq": cam_search_energy_nj(cfg.epoch_store_entries, _QUEUE_ENTRY_BYTES),
+            "ert": sram_read_energy_nj(max(1, ert_bytes)),
+            "ssbf": sram_read_energy_nj(max(1, ssbf_bytes)),
+            "sqm": cam_search_energy_nj(cfg.epoch_store_entries, _QUEUE_ENTRY_BYTES),
+            "cache": access_energy_nj(StructureKind.CACHE, hierarchy.l1.size_bytes),
+        }
+
+    #: Mapping from structure name to the counter that records its accesses.
+    _COUNTER_FOR_STRUCTURE = {
+        "hl_lq": "hl_lq.searches",
+        "hl_sq": "hl_sq.searches",
+        "ll_lq": "ll_lq.searches",
+        "ll_sq": "ll_sq.searches",
+        "ert": "ert.lookups",
+        "ssbf": "ssbf.lookups",
+        "sqm": "sqm.accesses",
+        "cache": "cache.accesses",
+    }
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def breakdown(self, result: CoreResult) -> EnergyBreakdown:
+        """Return the per-structure dynamic energy of ``result``."""
+        energies = self.per_access_energies_nj()
+        per_structure = {
+            structure: energies[structure] * result.counter(counter_name)
+            for structure, counter_name in self._COUNTER_FOR_STRUCTURE.items()
+        }
+        return EnergyBreakdown(per_structure_nj=per_structure)
+
+    def ert_vs_cache_read_ratio(self) -> float:
+        """Per-read energy of the ERT relative to the L1 (paper: about 2%)."""
+        energies = self.per_access_energies_nj()
+        return energies["ert"] / energies["cache"]

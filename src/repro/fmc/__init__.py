@@ -1,0 +1,18 @@
+"""The Flexible MultiCore (FMC) decoupled large-window processor.
+
+The FMC (Section 4 of the paper) pairs a conventional out-of-order *Cache
+Processor* with a *Memory Processor* made of small in-order *memory engines*.
+High-locality instructions execute in the Cache Processor right after decode;
+instructions that depend on an L2/memory miss -- and, while the Memory
+Processor is busy, every instruction that must vacate the Cache Processor's
+small ROB -- migrate to the memory engines, grouped into age-ordered *epochs*
+that map one-to-one onto the ELSQ's low-locality banks.
+
+:class:`~repro.fmc.processor.FMCProcessor` is the one-pass timing model of
+this machine; it drives whichever :class:`~repro.core.policy.LSQPolicy` it is
+given (the Epoch-based LSQ or the idealised central LSQ baseline).
+"""
+
+from repro.fmc.processor import FMCProcessor
+
+__all__ = ["FMCProcessor"]

@@ -1,0 +1,35 @@
+"""Instruction and trace model.
+
+The simulator is *trace driven*: a workload generator emits a sequence of
+:class:`~repro.isa.instruction.Instruction` records that describe the
+committed (correct-path) dynamic instruction stream with register
+dependences, memory addresses and branch outcomes.  The timing models in
+:mod:`repro.uarch` and :mod:`repro.fmc` replay this stream to compute cycle
+timings, and the ELSQ structures in :mod:`repro.core` observe the memory
+operations flowing through it.
+"""
+
+from repro.isa.instruction import (
+    FP_REGISTER_BASE,
+    InstrClass,
+    Instruction,
+    int_alu,
+    fp_alu,
+    branch,
+    load,
+    store,
+)
+from repro.isa.trace import Trace, TraceStatistics
+
+__all__ = [
+    "FP_REGISTER_BASE",
+    "InstrClass",
+    "Instruction",
+    "Trace",
+    "TraceStatistics",
+    "branch",
+    "fp_alu",
+    "int_alu",
+    "load",
+    "store",
+]

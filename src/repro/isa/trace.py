@@ -1,0 +1,297 @@
+"""Trace containers and summary statistics.
+
+A :class:`Trace` is an immutable, validated sequence of
+:class:`~repro.isa.instruction.Instruction` records in program order.  It is
+the unit of work handed to a processor model.  Traces can be built from any
+iterable of instructions (typically a workload generator), summarised with
+:class:`TraceStatistics`, sliced, concatenated and serialised to a simple
+line-oriented text format for offline inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import TraceError
+from repro.isa.instruction import InstrClass, Instruction
+
+
+@dataclass(frozen=True)
+class RegionFootprint:
+    """Location and access statistics of one data region of a trace.
+
+    Synthetic workloads attach one footprint per memory region so the
+    simulator can perform a *region-aware functional cache warm-up*: regions
+    are replayed into the hierarchy in increasing access-density order before
+    the timed run, leaving the caches in the steady state a long execution
+    would have reached (dense, small structures resident; structures larger
+    than a level still missing).
+    """
+
+    name: str
+    base_address: int
+    size_bytes: int
+    weight: float
+    pattern: str
+    line_hint: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise TraceError(f"region {self.name!r}: size must be positive")
+        if self.base_address < 0:
+            raise TraceError(f"region {self.name!r}: base address must be non-negative")
+        if self.weight < 0:
+            raise TraceError(f"region {self.name!r}: weight must be non-negative")
+
+    @property
+    def access_density(self) -> float:
+        """Relative access probability per byte (used to order warm-up)."""
+        return self.weight / self.size_bytes
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate composition statistics of a trace."""
+
+    num_instructions: int
+    num_loads: int
+    num_stores: int
+    num_branches: int
+    num_int_alu: int
+    num_fp_alu: int
+    num_mispredicted_branches: int
+    unique_lines_touched: int
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that are loads or stores."""
+        if self.num_instructions == 0:
+            return 0.0
+        return (self.num_loads + self.num_stores) / self.num_instructions
+
+    @property
+    def load_fraction(self) -> float:
+        """Fraction of instructions that are loads."""
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_loads / self.num_instructions
+
+    @property
+    def store_fraction(self) -> float:
+        """Fraction of instructions that are stores."""
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_stores / self.num_instructions
+
+    @property
+    def branch_fraction(self) -> float:
+        """Fraction of instructions that are branches."""
+        if self.num_instructions == 0:
+            return 0.0
+        return self.num_branches / self.num_instructions
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        """Fraction of branches that were mispredicted."""
+        if self.num_branches == 0:
+            return 0.0
+        return self.num_mispredicted_branches / self.num_branches
+
+
+class Trace:
+    """An immutable program-order sequence of instructions.
+
+    Parameters
+    ----------
+    instructions:
+        The instructions in program order.  Sequence numbers must be the
+        consecutive integers ``0, 1, 2, ...``; the constructor validates this
+        so that downstream structures may index by ``seq`` directly.
+    name:
+        Optional human-readable name (e.g. the workload that produced it).
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        name: str = "trace",
+        regions: Tuple[RegionFootprint, ...] = (),
+    ) -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        self._name = name
+        self._regions = tuple(regions)
+        for index, instruction in enumerate(self._instructions):
+            if instruction.seq != index:
+                raise TraceError(
+                    f"trace {name!r}: instruction at position {index} has seq "
+                    f"{instruction.seq}; sequence numbers must be consecutive from zero"
+                )
+
+    @property
+    def name(self) -> str:
+        """Human-readable name of the trace."""
+        return self._name
+
+    @property
+    def regions(self) -> Tuple[RegionFootprint, ...]:
+        """Data-region footprints for cache warm-up (empty for hand-built traces)."""
+        return self._regions
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Instruction, Sequence[Instruction]]:
+        return self._instructions[index]
+
+    def instructions(self) -> Sequence[Instruction]:
+        """Return the underlying instruction list (do not mutate)."""
+        return self._instructions
+
+    def memory_operations(self) -> Iterator[Instruction]:
+        """Iterate over the loads and stores of the trace in program order."""
+        for instruction in self._instructions:
+            if instruction.is_memory:
+                yield instruction
+
+    def statistics(self, line_size: int = 32) -> TraceStatistics:
+        """Compute composition statistics; lines are counted at ``line_size`` granularity."""
+        loads = stores = branches = int_ops = fp_ops = mispredicts = 0
+        lines = set()
+        for instruction in self._instructions:
+            if instruction.iclass is InstrClass.LOAD:
+                loads += 1
+            elif instruction.iclass is InstrClass.STORE:
+                stores += 1
+            elif instruction.iclass is InstrClass.BRANCH:
+                branches += 1
+                if instruction.mispredicted:
+                    mispredicts += 1
+            elif instruction.iclass is InstrClass.FP_ALU:
+                fp_ops += 1
+            else:
+                int_ops += 1
+            if instruction.is_memory and instruction.address is not None:
+                lines.add(instruction.address // line_size)
+        return TraceStatistics(
+            num_instructions=len(self._instructions),
+            num_loads=loads,
+            num_stores=stores,
+            num_branches=branches,
+            num_int_alu=int_ops,
+            num_fp_alu=fp_ops,
+            num_mispredicted_branches=mispredicts,
+            unique_lines_touched=len(lines),
+        )
+
+    def concatenate(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Return a new trace containing this trace followed by ``other``.
+
+        Sequence numbers of the second trace are rebased so the result is a
+        valid trace.
+        """
+        offset = len(self._instructions)
+        rebased = [
+            Instruction(
+                seq=offset + instruction.seq,
+                iclass=instruction.iclass,
+                dest=instruction.dest,
+                srcs=instruction.srcs,
+                address=instruction.address,
+                size=instruction.size,
+                mispredicted=instruction.mispredicted,
+                latency=instruction.latency,
+            )
+            for instruction in other
+        ]
+        return Trace(
+            self._instructions + rebased,
+            name=name if name is not None else f"{self._name}+{other.name}",
+        )
+
+    def prefix(self, length: int, name: Optional[str] = None) -> "Trace":
+        """Return a new trace containing the first ``length`` instructions."""
+        if length < 0:
+            raise TraceError(f"prefix length must be non-negative, got {length}")
+        return Trace(
+            self._instructions[:length],
+            name=name if name is not None else f"{self._name}[:{length}]",
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation: a simple whitespace-separated line format.
+    # ------------------------------------------------------------------
+
+    _FIELD_SEPARATOR = " "
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` in a simple line-oriented text format."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            handle.write(f"# repro-trace name={self._name}\n")
+            for instruction in self._instructions:
+                handle.write(self._encode_line(instruction))
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written with :meth:`save`."""
+        source = Path(path)
+        name = source.stem
+        instructions: List[Instruction] = []
+        with source.open("r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if "name=" in line:
+                        name = line.split("name=", 1)[1].strip()
+                    continue
+                try:
+                    instructions.append(cls._decode_line(line))
+                except (ValueError, KeyError) as exc:
+                    raise TraceError(f"{source}:{line_number}: malformed record: {exc}") from exc
+        return cls(instructions, name=name)
+
+    @classmethod
+    def _encode_line(cls, instruction: Instruction) -> str:
+        fields = [
+            str(instruction.seq),
+            instruction.iclass.value,
+            "-" if instruction.dest is None else str(instruction.dest),
+            ",".join(str(src) for src in instruction.srcs) or "-",
+            "-" if instruction.address is None else str(instruction.address),
+            str(instruction.size),
+            "1" if instruction.mispredicted else "0",
+            "-" if instruction.latency is None else str(instruction.latency),
+        ]
+        return cls._FIELD_SEPARATOR.join(fields)
+
+    @classmethod
+    def _decode_line(cls, line: str) -> Instruction:
+        fields = line.split()
+        if len(fields) != 8:
+            raise TraceError(f"expected 8 fields, got {len(fields)}")
+        seq = int(fields[0])
+        iclass = InstrClass(fields[1])
+        dest = None if fields[2] == "-" else int(fields[2])
+        srcs = () if fields[3] == "-" else tuple(int(part) for part in fields[3].split(","))
+        address = None if fields[4] == "-" else int(fields[4])
+        size = int(fields[5])
+        mispredicted = fields[6] == "1"
+        latency = None if fields[7] == "-" else int(fields[7])
+        return Instruction(
+            seq=seq,
+            iclass=iclass,
+            dest=dest,
+            srcs=srcs,
+            address=address,
+            size=size,
+            mispredicted=mispredicted,
+            latency=latency,
+        )

@@ -1,0 +1,27 @@
+"""Cache hierarchy substrate.
+
+The paper's default memory system (Table 1) is a 32 KB 4-way L1 with 32-byte
+lines and 1-cycle latency, a 2 MB 4-way L2 with 10-cycle latency and a
+400-cycle main memory.  This package provides:
+
+* :mod:`repro.memory.replacement` -- LRU replacement state with support for
+  *locked* ways (needed by the line-based Epoch Resolution Table, which pins
+  lines referenced by in-flight low-locality memory instructions).
+* :mod:`repro.memory.cache` -- a set-associative cache model with per-line
+  lock/unlock bookkeeping and access statistics.
+* :mod:`repro.memory.hierarchy` -- the two-level hierarchy plus main memory,
+  returning the access latency and the level that serviced each access.
+"""
+
+from repro.memory.cache import AccessResult, SetAssociativeCache
+from repro.memory.hierarchy import HierarchyAccess, MemoryHierarchy, MemoryLevel
+from repro.memory.replacement import LruState
+
+__all__ = [
+    "AccessResult",
+    "HierarchyAccess",
+    "LruState",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "SetAssociativeCache",
+]

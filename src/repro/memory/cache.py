@@ -1,0 +1,220 @@
+"""A set-associative cache with line locking.
+
+:class:`SetAssociativeCache` models tag state (which lines are resident), LRU
+replacement and the per-line *lock* bookkeeping required by the line-based
+Epoch Resolution Table.  It does not model data contents -- the simulator is
+trace driven -- only residency, which is all the timing and filtering models
+need.
+
+Locking semantics (Section 3.4 of the paper):
+
+* A line may be locked by one or more *owners* (epochs).  A locked line is
+  never chosen as a replacement victim.
+* Locking a non-resident line first allocates it ("the data need not be
+  available").  If every way of the target set is already locked the
+  allocation fails and the caller must stall or squash -- the cache reports
+  this as a :class:`LockResult` with ``conflict=True``.
+* When an epoch commits, :meth:`SetAssociativeCache.unlock_owner` clears all
+  of its locks in one sweep, mirroring how clearing the epoch's ERT column
+  implicitly unlocks its lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.memory.replacement import LruState
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    evicted_line: Optional[int]
+    #: True when the access wanted to allocate but every way was locked.
+    allocation_blocked: bool = False
+
+
+@dataclass(frozen=True)
+class LockResult:
+    """Outcome of a lock request from the line-based ERT."""
+
+    locked: bool
+    conflict: bool
+    allocated: bool
+
+
+class SetAssociativeCache:
+    """Tag-state model of one cache level.
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency of the cache.
+    stats:
+        Optional statistics registry; access counters are recorded under
+        ``{name}.hits``, ``{name}.misses``, ``{name}.evictions`` and
+        ``{name}.lock_conflicts``.
+    """
+
+    def __init__(self, config: CacheConfig, stats: Optional[StatsRegistry] = None) -> None:
+        self.config = config
+        self._stats = stats if stats is not None else StatsRegistry()
+        #: When False, accesses update tag/LRU state but record no statistics
+        #: (used by the functional cache warm-up pass).
+        self.stats_enabled = True
+        self._num_sets = config.num_sets
+        self._line_shift = config.line_size.bit_length() - 1
+        #: per-set mapping from way index to resident line number (tag+index).
+        self._tags: List[List[Optional[int]]] = [
+            [None] * config.associativity for _ in range(self._num_sets)
+        ]
+        self._lru: List[LruState] = [LruState(config.associativity) for _ in range(self._num_sets)]
+        #: line number -> set of lock owners.
+        self._lock_owners: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        if self.stats_enabled:
+            self._stats.bump(name, amount)
+
+    def line_number(self, address: int) -> int:
+        """Return the global line number containing ``address``."""
+        return address >> self._line_shift
+
+    def set_index(self, address: int) -> int:
+        """Return the set index for ``address``."""
+        return self.line_number(address) % self._num_sets
+
+    # ------------------------------------------------------------------
+    # Residency queries and accesses
+    # ------------------------------------------------------------------
+
+    def is_resident(self, address: int) -> bool:
+        """Whether the line containing ``address`` is currently resident."""
+        return self._find_way(address) is not None
+
+    def access(self, address: int, allocate_on_miss: bool = True) -> AccessResult:
+        """Access ``address``: update LRU on a hit, allocate on a miss.
+
+        When ``allocate_on_miss`` is false the access only probes the tags
+        (used for residency checks that must not disturb state).
+        """
+        set_index = self.set_index(address)
+        way = self._find_way(address)
+        if way is not None:
+            self._lru[set_index].touch(way)
+            self._bump(f"{self.config.name}.hits")
+            return AccessResult(hit=True, evicted_line=None)
+        self._bump(f"{self.config.name}.misses")
+        if not allocate_on_miss:
+            return AccessResult(hit=False, evicted_line=None)
+        evicted, blocked = self._allocate(address)
+        return AccessResult(hit=False, evicted_line=evicted, allocation_blocked=blocked)
+
+    def probe(self, address: int) -> bool:
+        """Probe the tags without updating LRU or allocating."""
+        return self._find_way(address) is not None
+
+    # ------------------------------------------------------------------
+    # Line locking (line-based ERT support)
+    # ------------------------------------------------------------------
+
+    def lock_line(self, address: int, owner: int) -> LockResult:
+        """Lock the line containing ``address`` on behalf of ``owner``.
+
+        Allocates the line if it is not resident.  Returns ``conflict=True``
+        without changing any state when allocation is required but every way
+        of the set is locked.
+        """
+        line = self.line_number(address)
+        set_index = self.set_index(address)
+        way = self._find_way(address)
+        allocated = False
+        if way is None:
+            if self._lru[set_index].all_locked():
+                self._bump(f"{self.config.name}.lock_conflicts")
+                return LockResult(locked=False, conflict=True, allocated=False)
+            evicted, blocked = self._allocate(address)
+            if blocked:
+                self._bump(f"{self.config.name}.lock_conflicts")
+                return LockResult(locked=False, conflict=True, allocated=False)
+            way = self._find_way(address)
+            allocated = True
+            if way is None:
+                raise SimulationError("allocation succeeded but the line is not resident")
+        owners = self._lock_owners.setdefault(line, set())
+        owners.add(owner)
+        self._lru[set_index].lock(way)
+        self._bump(f"{self.config.name}.lines_locked")
+        return LockResult(locked=True, conflict=False, allocated=allocated)
+
+    def unlock_owner(self, owner: int) -> int:
+        """Release every lock held by ``owner``; return the number released."""
+        released = 0
+        for line, owners in list(self._lock_owners.items()):
+            if owner in owners:
+                owners.discard(owner)
+                released += 1
+                if not owners:
+                    del self._lock_owners[line]
+                    self._unlock_way_for_line(line)
+        return released
+
+    def is_locked(self, address: int) -> bool:
+        """Whether the line containing ``address`` is locked by any owner."""
+        return bool(self._lock_owners.get(self.line_number(address)))
+
+    def locked_line_count(self) -> int:
+        """Number of distinct lines currently locked."""
+        return len(self._lock_owners)
+
+    def set_fully_locked(self, address: int) -> bool:
+        """Whether every way of the set containing ``address`` is locked."""
+        return self._lru[self.set_index(address)].all_locked()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _find_way(self, address: int) -> Optional[int]:
+        line = self.line_number(address)
+        set_tags = self._tags[self.set_index(address)]
+        for way, resident in enumerate(set_tags):
+            if resident == line:
+                return way
+        return None
+
+    def _allocate(self, address: int) -> Tuple[Optional[int], bool]:
+        """Allocate the line containing ``address``; return (evicted_line, blocked)."""
+        set_index = self.set_index(address)
+        lru = self._lru[set_index]
+        victim_way = lru.victim()
+        if victim_way is None:
+            return None, True
+        evicted = self._tags[set_index][victim_way]
+        if evicted is not None:
+            self._bump(f"{self.config.name}.evictions")
+            # A victim is never locked, so no lock bookkeeping to clean up.
+        self._tags[set_index][victim_way] = self.line_number(address)
+        lru.touch(victim_way)
+        return evicted, False
+
+    def _unlock_way_for_line(self, line: int) -> None:
+        set_index = line % self._num_sets
+        set_tags = self._tags[set_index]
+        for way, resident in enumerate(set_tags):
+            if resident == line:
+                self._lru[set_index].unlock(way)
+                return
+        # The line may have been evicted only if it was never resident while
+        # locked; reaching here indicates an accounting bug.
+        raise SimulationError(f"locked line {line} is not resident in set {set_index}")

@@ -1,0 +1,96 @@
+"""LRU replacement state with lock awareness.
+
+The line-based Epoch Resolution Table (Section 3.4 of the paper) requires
+that every line referenced by an address-known low-locality memory
+instruction stay resident in the L1 until its epoch commits.  The paper
+implements this by letting the replacement algorithm skip locked lines:
+
+    "Locking cache lines does not involve any additional structures as the
+    replacement algorithm can take care of everything.  It will only replace
+    lines for which there are no active bits in the ERT."
+
+:class:`LruState` models the recency ordering of one cache set and picks
+victims accordingly: the least recently used *unlocked* way.  When every way
+of the set is locked there is no victim and the caller must fall back to the
+paper's stall / squash handling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+class LruState:
+    """Recency ordering of the ways of a single cache set.
+
+    Way indices run from 0 to ``associativity - 1``.  The state tracks, for
+    every way, its position in the recency stack (position 0 = most recently
+    used) and whether the way is currently locked against replacement.
+    """
+
+    __slots__ = ("_order", "_locked")
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0:
+            raise ConfigurationError(f"associativity must be positive, got {associativity}")
+        #: recency stack: _order[0] is the most recently used way index.
+        self._order: List[int] = list(range(associativity))
+        self._locked: List[bool] = [False] * associativity
+
+    @property
+    def associativity(self) -> int:
+        """Number of ways tracked by this state."""
+        return len(self._order)
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` as the most recently used."""
+        self._validate_way(way)
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def lock(self, way: int) -> None:
+        """Protect ``way`` against replacement."""
+        self._validate_way(way)
+        self._locked[way] = True
+
+    def unlock(self, way: int) -> None:
+        """Allow ``way`` to be replaced again."""
+        self._validate_way(way)
+        self._locked[way] = False
+
+    def is_locked(self, way: int) -> bool:
+        """Whether ``way`` is currently locked."""
+        self._validate_way(way)
+        return self._locked[way]
+
+    def locked_count(self) -> int:
+        """Number of locked ways in the set."""
+        return sum(1 for locked in self._locked if locked)
+
+    def all_locked(self) -> bool:
+        """Whether every way of the set is locked (no victim available)."""
+        return all(self._locked)
+
+    def victim(self) -> Optional[int]:
+        """Return the way to evict: the least recently used unlocked way.
+
+        Returns ``None`` when every way is locked, which callers must treat
+        as a replacement conflict (the paper stalls insertion or squashes).
+        """
+        for way in reversed(self._order):
+            if not self._locked[way]:
+                return way
+        return None
+
+    def recency_position(self, way: int) -> int:
+        """Return the recency position of ``way`` (0 = most recently used)."""
+        self._validate_way(way)
+        return self._order.index(way)
+
+    def _validate_way(self, way: int) -> None:
+        if not 0 <= way < len(self._order):
+            raise SimulationError(
+                f"way {way} out of range for a {len(self._order)}-way set"
+            )

@@ -1,0 +1,593 @@
+"""Experiment harness: one function per table / figure of the paper.
+
+Every experiment of the evaluation section is reproduced by a function in
+this module.  Each function takes an :class:`ExperimentContext` (which owns
+the workload suites, the trace length and a trace cache so that every machine
+configuration sees identical instruction streams) and returns a plain result
+object that the benchmark scripts print in the same rows/series the paper
+reports.
+
+| Function                          | Paper artifact |
+| --------------------------------- | -------------- |
+| :func:`fig1_execution_locality`   | Figure 1       |
+| :func:`sec52_epoch_sizing`        | Section 5.2    |
+| :func:`fig7_speedups`             | Figure 7       |
+| :func:`fig8a_filter_accuracy`     | Figure 8 (a)   |
+| :func:`fig8bc_cache_sensitivity`  | Figure 8 (b,c) |
+| :func:`fig9_restricted_models`    | Figure 9       |
+| :func:`fig10_svw_reexecution`     | Figure 10      |
+| :func:`fig11_high_locality_mode`  | Figure 11      |
+| :func:`table2_access_counts`      | Table 2        |
+| :func:`sec6_energy_comparison`    | Section 6      |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import DisambiguationModel, ERTKind
+from repro.energy.accounting import EnergyModel
+from repro.isa.trace import Trace
+from repro.sim.configs import (
+    MachineConfig,
+    fmc_central,
+    fmc_elsq,
+    fmc_hash,
+    fmc_hash_rsac,
+    fmc_hash_svw,
+    fmc_line,
+    ooo_64,
+    ooo_64_svw,
+)
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS_PER_WORKLOAD, Simulator, SuiteResult
+from repro.workloads.suite import WorkloadSuite, spec_fp_suite, spec_int_suite
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state of one experiment campaign.
+
+    The context pins the two suites, the trace length and the RNG seed, and
+    caches generated traces so that every machine configuration within an
+    experiment (and across experiments in the same campaign) replays exactly
+    the same instruction streams.
+    """
+
+    fp_suite: WorkloadSuite = field(default_factory=spec_fp_suite)
+    int_suite: WorkloadSuite = field(default_factory=spec_int_suite)
+    instructions_per_workload: int = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
+    seed: Optional[int] = None
+    _trace_cache: Dict[str, List[Trace]] = field(default_factory=dict)
+
+    def suites(self) -> Dict[str, WorkloadSuite]:
+        """The two suites keyed by their paper labels."""
+        return {"SPEC FP": self.fp_suite, "SPEC INT": self.int_suite}
+
+    def traces_for(self, suite: WorkloadSuite) -> List[Trace]:
+        """Return (and cache) the traces of a suite at the campaign's length."""
+        key = f"{suite.name}:{self.instructions_per_workload}:{self.seed}"
+        if key not in self._trace_cache:
+            self._trace_cache[key] = suite.generate_traces(
+                self.instructions_per_workload, seed=self.seed
+            )
+        return self._trace_cache[key]
+
+    def run(self, machine: MachineConfig, suite: WorkloadSuite) -> SuiteResult:
+        """Run one machine over one suite using the cached traces."""
+        simulator = Simulator(machine)
+        return simulator.run_suite(
+            suite,
+            num_instructions=self.instructions_per_workload,
+            seed=self.seed,
+            traces=self.traces_for(suite),
+        )
+
+
+def quick_context(instructions: int = 6_000, seed: int = 7) -> ExperimentContext:
+    """A reduced campaign (two workloads per suite, short traces) for tests."""
+    from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+    return ExperimentContext(
+        fp_suite=quick_fp_suite(),
+        int_suite=quick_int_suite(),
+        instructions_per_workload=instructions,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1: execution locality of address calculations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalityDistribution:
+    """Decode→address-calculation latency distribution for one suite."""
+
+    suite_label: str
+    load_series: List[Tuple[int, int]]
+    store_series: List[Tuple[int, int]]
+    load_fraction_within_bin: float
+    store_fraction_within_bin: float
+    load_p95: int
+    load_p99: int
+    store_p95: int
+    store_p99: int
+
+
+def fig1_execution_locality(context: ExperimentContext) -> Dict[str, LocalityDistribution]:
+    """Reproduce Figure 1 on the large-window FMC machine."""
+    machine = fmc_hash()
+    output: Dict[str, LocalityDistribution] = {}
+    for label, suite in context.suites().items():
+        merged_loads: Dict[int, int] = {}
+        merged_stores: Dict[int, int] = {}
+        load_within = store_within = 0
+        load_total = store_total = 0
+        p95_load = p99_load = p95_store = p99_store = 0
+        for trace in context.traces_for(suite):
+            result = Simulator(machine).run_trace(trace)
+            load_hist = result.histogram("decode_to_address.loads") or []
+            store_hist = result.histogram("decode_to_address.stores") or []
+            for lower, population in load_hist:
+                merged_loads[lower] = merged_loads.get(lower, 0) + population
+            for lower, population in store_hist:
+                merged_stores[lower] = merged_stores.get(lower, 0) + population
+        load_series = sorted(merged_loads.items())
+        store_series = sorted(merged_stores.items())
+        load_total = sum(population for _, population in load_series)
+        store_total = sum(population for _, population in store_series)
+        if load_series and load_total:
+            load_within = load_series[0][1]
+            p95_load = _percentile_bound(load_series, 0.95)
+            p99_load = _percentile_bound(load_series, 0.99)
+        if store_series and store_total:
+            store_within = store_series[0][1]
+            p95_store = _percentile_bound(store_series, 0.95)
+            p99_store = _percentile_bound(store_series, 0.99)
+        output[label] = LocalityDistribution(
+            suite_label=label,
+            load_series=load_series,
+            store_series=store_series,
+            load_fraction_within_bin=(load_within / load_total) if load_total else 0.0,
+            store_fraction_within_bin=(store_within / store_total) if store_total else 0.0,
+            load_p95=p95_load,
+            load_p99=p99_load,
+            store_p95=p95_store,
+            store_p99=p99_store,
+        )
+    return output
+
+
+def _percentile_bound(series: Sequence[Tuple[int, int]], percentile: float) -> int:
+    total = sum(population for _, population in series)
+    if total == 0:
+        return 0
+    target = percentile * total
+    running = 0
+    bin_width = series[1][0] - series[0][0] if len(series) > 1 else 30
+    for lower, population in series:
+        running += population
+        if running >= target:
+            return lower + bin_width
+    return series[-1][0] + bin_width
+
+
+# ----------------------------------------------------------------------
+# Section 5.2: epoch / per-epoch LSQ sizing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochSizingPoint:
+    """IPC of one per-epoch load/store-queue sizing."""
+
+    load_entries: int
+    store_entries: int
+    mean_ipc: float
+    slowdown_vs_unlimited: float
+
+
+def sec52_epoch_sizing(
+    context: ExperimentContext,
+    sizings: Sequence[Tuple[int, int]] = ((16, 8), (32, 16), (64, 32), (128, 64), (1024, 1024)),
+) -> List[EpochSizingPoint]:
+    """Reproduce the Section 5.2 sizing study on the SPEC-FP-like suite.
+
+    The last sizing in ``sizings`` is treated as the "unlimited" reference
+    (the paper sizes against an unlimited LSQ and accepts ~1% slowdown for
+    64 loads / 32 stores per epoch).
+    """
+    results: List[Tuple[Tuple[int, int], float]] = []
+    for load_entries, store_entries in sizings:
+        machine = fmc_elsq(
+            epoch_load_entries=load_entries,
+            epoch_store_entries=store_entries,
+            name=f"FMC-Hash-{load_entries}L{store_entries}S",
+        )
+        suite_result = context.run(machine, context.fp_suite)
+        results.append(((load_entries, store_entries), suite_result.mean_ipc))
+    reference_ipc = results[-1][1]
+    return [
+        EpochSizingPoint(
+            load_entries=loads,
+            store_entries=stores,
+            mean_ipc=ipc,
+            slowdown_vs_unlimited=1.0 - (ipc / reference_ipc if reference_ipc else 0.0),
+        )
+        for (loads, stores), ipc in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 7: speed-up of the large-window LSQ schemes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Speed-up of one machine over the OoO-64 baseline, per suite."""
+
+    machine_name: str
+    speedup_by_suite: Dict[str, float]
+    ipc_by_suite: Dict[str, float]
+
+
+def fig7_speedups(context: ExperimentContext) -> Tuple[List[SpeedupRow], Dict[str, float]]:
+    """Reproduce Figure 7: return (rows, baseline IPC per suite)."""
+    machines = [
+        fmc_central("Central LSQ"),
+        fmc_line(store_queue_mirror=False, name="ELSQ Line ERT"),
+        fmc_line(store_queue_mirror=True, name="ELSQ Line ERT + SQM"),
+        fmc_hash(store_queue_mirror=False, name="ELSQ Hash ERT"),
+        fmc_hash(store_queue_mirror=True, name="ELSQ Hash ERT + SQM"),
+    ]
+    baseline = ooo_64()
+    baseline_results = {
+        label: context.run(baseline, suite) for label, suite in context.suites().items()
+    }
+    baseline_ipc = {label: result.mean_ipc for label, result in baseline_results.items()}
+    rows: List[SpeedupRow] = []
+    for machine in machines:
+        speedups: Dict[str, float] = {}
+        ipcs: Dict[str, float] = {}
+        for label, suite in context.suites().items():
+            result = context.run(machine, suite)
+            speedups[label] = result.speedup_over(baseline_results[label])
+            ipcs[label] = result.mean_ipc
+        rows.append(SpeedupRow(machine_name=machine.name, speedup_by_suite=speedups, ipc_by_suite=ipcs))
+    return rows, baseline_ipc
+
+
+# ----------------------------------------------------------------------
+# Figure 8a: ERT filter accuracy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FilterAccuracyPoint:
+    """False-positive rate of one ERT configuration."""
+
+    label: str
+    storage_bytes: int
+    false_positives_per_100m: Dict[str, float]
+
+
+def fig8a_filter_accuracy(
+    context: ExperimentContext, hash_bits: Sequence[int] = (6, 8, 10, 11, 12, 14, 16)
+) -> List[FilterAccuracyPoint]:
+    """Reproduce Figure 8a: ERT false positives versus filter size."""
+    points: List[FilterAccuracyPoint] = []
+    line_machine = fmc_line()
+    line_fp = {
+        label: context.run(line_machine, suite).mean_counter_per_100m("ert.false_positives")
+        for label, suite in context.suites().items()
+    }
+    points.append(
+        FilterAccuracyPoint(
+            label="Line-based",
+            # Load table + store table (the config method sizes one table).
+            storage_bytes=2 * line_machine.elsq.ert.storage_bytes(line_machine.hierarchy.l1),
+            false_positives_per_100m=line_fp,
+        )
+    )
+    for bits in hash_bits:
+        machine = fmc_hash(hash_bits=bits, name=f"FMC-Hash-{bits}b")
+        false_positives = {
+            label: context.run(machine, suite).mean_counter_per_100m("ert.false_positives")
+            for label, suite in context.suites().items()
+        }
+        points.append(
+            FilterAccuracyPoint(
+                label=f"{bits} bits",
+                storage_bytes=2 * machine.elsq.ert.storage_bytes(),
+                false_positives_per_100m=false_positives,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 8b/c: sensitivity to the L1 geometry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheSensitivityPoint:
+    """Relative performance of one (L1 size, associativity, ERT kind) point."""
+
+    suite_label: str
+    ert_label: str
+    l1_kb: int
+    associativity: int
+    relative_performance: float
+
+
+def fig8bc_cache_sensitivity(
+    context: ExperimentContext,
+    l1_sizes_kb: Sequence[int] = (32, 64),
+    associativities: Sequence[int] = (1, 2, 4, 8),
+) -> List[CacheSensitivityPoint]:
+    """Reproduce Figure 8b/c: line- vs hash-based ERT under varying L1 geometry."""
+    raw: List[Tuple[str, str, int, int, float]] = []
+    for suite_label, suite in context.suites().items():
+        for size_kb in l1_sizes_kb:
+            for associativity in associativities:
+                hierarchy = context_hierarchy(size_kb, associativity)
+                hash_bits = 10 if size_kb == 32 else 11
+                for ert_label, base in (
+                    ("CacheLine-based ERT", fmc_line()),
+                    ("Hash-based ERT", fmc_hash(hash_bits=hash_bits)),
+                ):
+                    machine = base.with_hierarchy(
+                        hierarchy, name=f"{base.name}-{size_kb}KB-{associativity}w"
+                    )
+                    ipc = context.run(machine, suite).mean_ipc
+                    raw.append((suite_label, f"{ert_label} / {size_kb}KB", size_kb, associativity, ipc))
+    points: List[CacheSensitivityPoint] = []
+    for suite_label in context.suites():
+        suite_rows = [row for row in raw if row[0] == suite_label]
+        best = max(row[4] for row in suite_rows)
+        for _, ert_label, size_kb, associativity, ipc in suite_rows:
+            points.append(
+                CacheSensitivityPoint(
+                    suite_label=suite_label,
+                    ert_label=ert_label,
+                    l1_kb=size_kb,
+                    associativity=associativity,
+                    relative_performance=ipc / best if best else 0.0,
+                )
+            )
+    return points
+
+
+def context_hierarchy(l1_size_kb: int, associativity: int):
+    """Build a memory hierarchy with the requested L1 geometry."""
+    from repro.common.config import MemoryHierarchyConfig
+
+    return MemoryHierarchyConfig().with_l1(l1_size_kb * 1024, associativity)
+
+
+# ----------------------------------------------------------------------
+# Figure 9: restricted disambiguation models
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RestrictedModelPoint:
+    """Performance of one disambiguation model relative to full disambiguation."""
+
+    model: DisambiguationModel
+    relative_by_suite: Dict[str, float]
+
+
+def fig9_restricted_models(context: ExperimentContext) -> List[RestrictedModelPoint]:
+    """Reproduce Figure 9: Full / RSAC / RLAC / RSAC+LAC relative performance."""
+    models = [
+        DisambiguationModel.FULL,
+        DisambiguationModel.RESTRICTED_SAC,
+        DisambiguationModel.RESTRICTED_LAC,
+        DisambiguationModel.RESTRICTED_SAC_LAC,
+    ]
+    per_model_ipc: Dict[DisambiguationModel, Dict[str, float]] = {}
+    for model in models:
+        machine = fmc_elsq(disambiguation=model, name=f"FMC-Hash-{model.value}")
+        per_model_ipc[model] = {
+            label: context.run(machine, suite).mean_ipc
+            for label, suite in context.suites().items()
+        }
+    reference = per_model_ipc[DisambiguationModel.FULL]
+    return [
+        RestrictedModelPoint(
+            model=model,
+            relative_by_suite={
+                label: (ipc / reference[label] if reference[label] else 0.0)
+                for label, ipc in per_model_ipc[model].items()
+            },
+        )
+        for model in models
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 10: SVW re-execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SVWPoint:
+    """One bar/point of Figure 10."""
+
+    machine_label: str
+    suite_label: str
+    variant: str
+    ssbf_bits: int
+    relative_ipc: float
+    reexecutions_per_100m: float
+
+
+def fig10_svw_reexecution(
+    context: ExperimentContext, ssbf_bits: Sequence[int] = (12, 10, 8)
+) -> List[SVWPoint]:
+    """Reproduce Figure 10 on both the OoO-64 core and the FMC."""
+    points: List[SVWPoint] = []
+    for machine_label, baseline, svw_factory in (
+        ("OoO-64", ooo_64(), lambda bits, check: ooo_64_svw(bits, check)),
+        ("FMC", fmc_hash(), lambda bits, check: fmc_hash_svw(bits, check)),
+    ):
+        baseline_results = {
+            label: context.run(baseline, suite) for label, suite in context.suites().items()
+        }
+        for bits in ssbf_bits:
+            for variant, check_stores in (("CheckStores", True), ("Blind", False)):
+                machine = svw_factory(bits, check_stores)
+                for suite_label, suite in context.suites().items():
+                    result = context.run(machine, suite)
+                    points.append(
+                        SVWPoint(
+                            machine_label=machine_label,
+                            suite_label=suite_label,
+                            variant=variant,
+                            ssbf_bits=bits,
+                            relative_ipc=result.speedup_over(baseline_results[suite_label]),
+                            reexecutions_per_100m=result.mean_counter_per_100m(
+                                "svw.reexecutions"
+                            ),
+                        )
+                    )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 11: high-locality mode residency versus L2 size
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HighLocalityPoint:
+    """Fraction of cycles with an inactive LL-LSQ for one L2 capacity."""
+
+    l2_mb: int
+    inactivity_by_suite: Dict[str, float]
+
+
+def fig11_high_locality_mode(
+    context: ExperimentContext, l2_sizes_mb: Sequence[int] = (1, 2, 4, 8)
+) -> List[HighLocalityPoint]:
+    """Reproduce Figure 11: LL-LSQ inactivity as a function of L2 capacity."""
+    from repro.common.config import MemoryHierarchyConfig
+
+    points: List[HighLocalityPoint] = []
+    for l2_mb in l2_sizes_mb:
+        hierarchy = MemoryHierarchyConfig().with_l2_size(l2_mb * 1024 * 1024)
+        machine = fmc_hash().with_hierarchy(hierarchy, name=f"FMC-Hash-{l2_mb}MB")
+        inactivity: Dict[str, float] = {}
+        for label, suite in context.suites().items():
+            fraction = context.run(machine, suite).mean_high_locality_fraction()
+            inactivity[label] = fraction if fraction is not None else 0.0
+        points.append(HighLocalityPoint(l2_mb=l2_mb, inactivity_by_suite=inactivity))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Table 2: structure access counts
+# ----------------------------------------------------------------------
+
+#: The Table 2 columns and the counters that feed them.
+TABLE2_COLUMNS: Dict[str, str] = {
+    "HL-LQ": "hl_lq.searches",
+    "HL-SQ": "hl_sq.searches",
+    "LL-LQ": "ll_lq.searches",
+    "LL-SQ": "ll_sq.searches",
+    "ERT": "ert.lookups",
+    "SSBF": "ssbf.lookups",
+    "RoundTrips": "network.round_trips",
+    "Cache": "cache.accesses",
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One configuration row of Table 2 for one suite."""
+
+    config_name: str
+    suite_label: str
+    accesses_millions: Dict[str, float]
+    speedup: float
+
+
+def table2_access_counts(context: ExperimentContext) -> List[Table2Row]:
+    """Reproduce Table 2 (access counts in millions per 100M instructions)."""
+    configurations: List[MachineConfig] = [
+        ooo_64(),
+        ooo_64_svw(10, check_stores=False, name="OoO-64-SVW"),
+        fmc_line(name="FMC-Line"),
+        fmc_hash(name="FMC-Hash"),
+        fmc_hash_svw(10, check_stores=False, name="FMC-Hash-SVW"),
+        fmc_hash_rsac(name="FMC-Hash-RSAC"),
+    ]
+    baseline = configurations[0]
+    rows: List[Table2Row] = []
+    for suite_label, suite in context.suites().items():
+        baseline_result = context.run(baseline, suite)
+        for machine in configurations:
+            result = context.run(machine, suite)
+            accesses = {
+                column: result.mean_counter_per_100m_millions(counter)
+                for column, counter in TABLE2_COLUMNS.items()
+            }
+            rows.append(
+                Table2Row(
+                    config_name=machine.name,
+                    suite_label=suite_label,
+                    accesses_millions=accesses,
+                    speedup=result.speedup_over(baseline_result),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 6: energy comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Headline energy ratios discussed in Section 6."""
+
+    ert_vs_l1_read_ratio: float
+    rsac_vs_svw_ert_accesses: Dict[str, float]
+    rsac_vs_svw_round_trips: Dict[str, float]
+    rsac_vs_svw_cache_accesses: Dict[str, float]
+
+
+def sec6_energy_comparison(context: ExperimentContext) -> EnergyComparison:
+    """Reproduce the Section 6 energy discussion (ERT vs L1, RSAC vs SVW)."""
+    model = EnergyModel()
+    rsac = fmc_hash_rsac()
+    svw = fmc_hash_svw(10, check_stores=False)
+    ert_ratio = model.ert_vs_cache_read_ratio()
+    ert_accesses: Dict[str, float] = {}
+    round_trips: Dict[str, float] = {}
+    cache_accesses: Dict[str, float] = {}
+    for label, suite in context.suites().items():
+        rsac_result = context.run(rsac, suite)
+        svw_result = context.run(svw, suite)
+
+        def _ratio(counter: str) -> float:
+            denominator = svw_result.mean_counter_per_100m(counter)
+            if denominator == 0:
+                return 0.0
+            return rsac_result.mean_counter_per_100m(counter) / denominator
+
+        ert_accesses[label] = _ratio("ert.lookups")
+        round_trips[label] = _ratio("network.round_trips")
+        cache_accesses[label] = _ratio("cache.accesses")
+    return EnergyComparison(
+        ert_vs_l1_read_ratio=ert_ratio,
+        rsac_vs_svw_ert_accesses=ert_accesses,
+        rsac_vs_svw_round_trips=round_trips,
+        rsac_vs_svw_cache_accesses=cache_accesses,
+    )

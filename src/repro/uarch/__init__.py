@@ -1,0 +1,20 @@
+"""Conventional out-of-order processor substrate.
+
+:class:`~repro.uarch.ooo_core.OutOfOrderCore` is the one-pass timing model of
+the OoO-64 baseline processor; :mod:`repro.uarch.resources` provides the
+bandwidth and occupancy helpers shared with the FMC model; and
+:class:`~repro.uarch.result.CoreResult` is the result record every core
+produces.
+"""
+
+from repro.uarch.ooo_core import OutOfOrderCore
+from repro.uarch.resources import BandwidthAllocator, InOrderTracker, OccupancyWindow
+from repro.uarch.result import CoreResult
+
+__all__ = [
+    "BandwidthAllocator",
+    "CoreResult",
+    "InOrderTracker",
+    "OccupancyWindow",
+    "OutOfOrderCore",
+]

@@ -1,0 +1,68 @@
+"""Result records produced by the timing cores.
+
+Both the conventional out-of-order core and the FMC produce a
+:class:`CoreResult`: the cycle count, the committed instruction count, the
+full statistics snapshot and a handful of derived conveniences (IPC,
+per-100M-instruction scaling) used throughout the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsSnapshot
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Outcome of simulating one trace on one machine configuration."""
+
+    trace_name: str
+    config_name: str
+    cycles: int
+    committed_instructions: int
+    stats: StatsSnapshot
+    #: Fraction of cycles during which the Memory Processor was idle
+    #: (high-locality mode); ``None`` for conventional cores.
+    high_locality_fraction: Optional[float] = None
+    #: Average number of simultaneously allocated epochs; ``None`` for
+    #: conventional cores.
+    mean_allocated_epochs: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise SimulationError("a simulation must take at least one cycle")
+        if self.committed_instructions < 0:
+            raise SimulationError("committed instruction count cannot be negative")
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed_instructions / self.cycles
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Return a raw counter value from the statistics snapshot."""
+        return self.stats.get(name, default)
+
+    def per_100m(self, name: str) -> float:
+        """Return a counter scaled to events per 100 million committed instructions."""
+        if self.committed_instructions == 0:
+            return 0.0
+        return self.stats.get(name, 0) * (100_000_000 / self.committed_instructions)
+
+    def per_100m_millions(self, name: str) -> float:
+        """Return the per-100M rate expressed in millions (Table 2's unit)."""
+        return self.per_100m(name) / 1e6
+
+    def histogram(self, name: str) -> Optional[List[Tuple[int, int]]]:
+        """Return a recorded histogram series, if present."""
+        return self.stats.histograms.get(name)
+
+    def speedup_over(self, baseline: "CoreResult") -> float:
+        """Return this result's IPC relative to ``baseline``'s IPC."""
+        if baseline.ipc == 0:
+            raise SimulationError("baseline IPC is zero; speed-up undefined")
+        return self.ipc / baseline.ipc

@@ -1,0 +1,53 @@
+"""Synthetic workload generators.
+
+The paper evaluates ELSQ with SPEC CPU 2000 SimPoints executed on an Alpha
+functional simulator.  Neither the binaries nor a functional Alpha front end
+are reproducible inside this library, so the evaluation is driven by
+*synthetic* workloads whose statistical properties are parameterised to match
+the characteristics the paper reports and relies on:
+
+* instruction mix (loads / stores / branches / FP),
+* working-set structure (several regions of different sizes and access
+  patterns, so that miss rates respond to cache size as in Figure 11),
+* the fraction of loads and stores whose *address calculation* depends on a
+  cache-missing load (the execution-locality split of Figure 1),
+* memory-level parallelism (independent streaming misses for FP-like
+  workloads versus serialised pointer chasing for INT-like workloads),
+* store→load forwarding distances (local versus distant forwarding), and
+* branch misprediction rates, including branches that depend on missing
+  loads (the control-speculation limit of SPEC INT discussed in Section 6).
+
+:mod:`repro.workloads.base` provides the generic generator;
+:mod:`repro.workloads.spec_fp` and :mod:`repro.workloads.spec_int` define
+named kernels loosely modelled on individual SPEC benchmarks; and
+:mod:`repro.workloads.suite` groups them into the two suites used throughout
+the evaluation.
+"""
+
+from repro.workloads.base import (
+    MemoryRegion,
+    SyntheticWorkload,
+    WorkloadParameters,
+)
+from repro.workloads.spec_fp import SPEC_FP_KERNELS, fp_kernel
+from repro.workloads.spec_int import SPEC_INT_KERNELS, int_kernel
+from repro.workloads.suite import (
+    WorkloadSuite,
+    spec_fp_suite,
+    spec_int_suite,
+    suite_by_name,
+)
+
+__all__ = [
+    "MemoryRegion",
+    "SPEC_FP_KERNELS",
+    "SPEC_INT_KERNELS",
+    "SyntheticWorkload",
+    "WorkloadParameters",
+    "WorkloadSuite",
+    "fp_kernel",
+    "int_kernel",
+    "spec_fp_suite",
+    "spec_int_suite",
+    "suite_by_name",
+]

@@ -1,0 +1,112 @@
+"""Workload suites: SPEC-FP-like and SPEC-INT-like collections.
+
+The paper reports every result as the arithmetic mean over the SPEC FP and
+SPEC INT benchmarks separately.  :class:`WorkloadSuite` mirrors that: it is a
+named, ordered collection of :class:`~repro.workloads.base.WorkloadParameters`
+that can generate one trace per member.  The experiment harness in
+:mod:`repro.sim` runs each member and averages, exactly like the paper's
+methodology (Section 5.1), only with far shorter traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.isa.trace import Trace
+from repro.workloads.base import SyntheticWorkload, WorkloadParameters
+from repro.workloads.spec_fp import SPEC_FP_KERNELS
+from repro.workloads.spec_int import SPEC_INT_KERNELS
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """An ordered, named collection of workload descriptions."""
+
+    name: str
+    members: Tuple[WorkloadParameters, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise WorkloadError(f"suite {self.name!r} must contain at least one workload")
+        names = [member.name for member in self.members]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"suite {self.name!r} contains duplicate workload names")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[WorkloadParameters]:
+        return iter(self.members)
+
+    def member_names(self) -> List[str]:
+        """Return the workload names in suite order."""
+        return [member.name for member in self.members]
+
+    def member(self, name: str) -> WorkloadParameters:
+        """Return the member called ``name``."""
+        for candidate in self.members:
+            if candidate.name == name:
+                return candidate
+        raise WorkloadError(f"suite {self.name!r} has no member called {name!r}")
+
+    def generate_traces(
+        self, instructions_per_member: int, seed: Optional[int] = None
+    ) -> List[Trace]:
+        """Generate one trace per member, each with the given instruction count."""
+        traces = []
+        for member in self.members:
+            generator = SyntheticWorkload(member, seed=seed)
+            traces.append(generator.generate(instructions_per_member))
+        return traces
+
+    def subset(self, names: Sequence[str], suite_name: Optional[str] = None) -> "WorkloadSuite":
+        """Return a new suite containing only the named members, in the given order."""
+        members = tuple(self.member(name) for name in names)
+        return WorkloadSuite(
+            name=suite_name if suite_name is not None else f"{self.name}-subset", members=members
+        )
+
+
+def spec_fp_suite() -> WorkloadSuite:
+    """Return the SPEC-FP-like suite (all FP kernels, stable order)."""
+    members = tuple(SPEC_FP_KERNELS[name]() for name in sorted(SPEC_FP_KERNELS))
+    return WorkloadSuite(name="spec_fp_like", members=members)
+
+
+def spec_int_suite() -> WorkloadSuite:
+    """Return the SPEC-INT-like suite (all INT kernels, stable order)."""
+    members = tuple(SPEC_INT_KERNELS[name]() for name in sorted(SPEC_INT_KERNELS))
+    return WorkloadSuite(name="spec_int_like", members=members)
+
+
+def quick_fp_suite() -> WorkloadSuite:
+    """A two-member FP subset used by fast tests and the quickstart example."""
+    return spec_fp_suite().subset(["swim_like", "equake_like"], suite_name="spec_fp_quick")
+
+
+def quick_int_suite() -> WorkloadSuite:
+    """A two-member INT subset used by fast tests and the quickstart example."""
+    return spec_int_suite().subset(["mcf_like", "gcc_like"], suite_name="spec_int_quick")
+
+
+_SUITES: Dict[str, Callable[[], WorkloadSuite]] = {
+    "spec_fp_like": spec_fp_suite,
+    "spec_int_like": spec_int_suite,
+    "spec_fp_quick": quick_fp_suite,
+    "spec_int_quick": quick_int_suite,
+}
+
+
+def suite_by_name(name: str) -> WorkloadSuite:
+    """Return a registered suite by name.
+
+    Available suites: ``spec_fp_like``, ``spec_int_like``, ``spec_fp_quick``
+    and ``spec_int_quick``.
+    """
+    try:
+        factory = _SUITES[name]
+    except KeyError:
+        raise WorkloadError(f"unknown suite {name!r}; available: {sorted(_SUITES)}") from None
+    return factory()

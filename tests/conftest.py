@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.stats import StatsRegistry
+from repro.isa.instruction import branch, int_alu, load, store
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.base import MemoryRegion, SyntheticWorkload, WorkloadParameters
+
+
+@pytest.fixture
+def stats() -> StatsRegistry:
+    """A fresh statistics registry."""
+    return StatsRegistry()
+
+
+@pytest.fixture
+def hierarchy(stats: StatsRegistry) -> MemoryHierarchy:
+    """A default (Table 1) memory hierarchy."""
+    return MemoryHierarchy(stats=stats)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-built six-instruction trace exercising loads, stores and branches."""
+    return Trace(
+        [
+            int_alu(0, dest=1),
+            store(1, address=0x1000, srcs=(1,)),
+            load(2, dest=2, address=0x1000, srcs=(0,)),
+            int_alu(3, dest=3, srcs=(2,)),
+            branch(4, srcs=(3,)),
+            load(5, dest=4, address=0x2000, srcs=(0,)),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_workload_params() -> WorkloadParameters:
+    """A small, fast, cache-friendly workload description."""
+    return WorkloadParameters(
+        name="unit_test_workload",
+        load_fraction=0.3,
+        store_fraction=0.1,
+        branch_fraction=0.1,
+        regions=(
+            MemoryRegion(name="hot", size_bytes=16 * 1024, weight=0.8, pattern="stream"),
+            MemoryRegion(name="far", size_bytes=8 * 1024 * 1024, weight=0.05, pattern="random", is_far=True),
+            MemoryRegion(name="warm", size_bytes=256 * 1024, weight=0.15, pattern="random"),
+        ),
+        chased_load_fraction=0.05,
+        branch_mispredict_rate=0.02,
+        seed=99,
+    )
+
+
+@pytest.fixture
+def small_trace(small_workload_params: WorkloadParameters) -> Trace:
+    """A 2000-instruction synthetic trace (fast enough for every unit test)."""
+    return SyntheticWorkload(small_workload_params, seed=1).generate(2000)

@@ -1,0 +1,85 @@
+"""Tests for the energy model (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ELSQConfig, ERTConfig, ERTKind
+from repro.common.errors import ConfigurationError
+from repro.energy.accounting import EnergyModel
+from repro.energy.cacti import (
+    ERT_2KB_READ_NJ,
+    L1_32KB_READ_NJ,
+    StructureKind,
+    access_energy_nj,
+    cache_read_energy_nj,
+    cam_search_energy_nj,
+    sram_read_energy_nj,
+)
+from repro.sim.configs import ooo_64
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import quick_fp_suite
+
+
+class TestCactiAnchors:
+    def test_published_anchor_values(self):
+        assert sram_read_energy_nj(2 * 1024) == pytest.approx(ERT_2KB_READ_NJ)
+        assert cache_read_energy_nj(32 * 1024) == pytest.approx(L1_32KB_READ_NJ)
+
+    def test_paper_ratio_ert_is_about_two_percent_of_l1(self):
+        ratio = sram_read_energy_nj(2 * 1024) / cache_read_energy_nj(32 * 1024)
+        assert 0.01 < ratio < 0.04
+
+    def test_energy_grows_with_capacity(self):
+        assert sram_read_energy_nj(8 * 1024) > sram_read_energy_nj(2 * 1024)
+        assert cache_read_energy_nj(64 * 1024) > cache_read_energy_nj(32 * 1024)
+
+    def test_cam_energy_linear_in_entries(self):
+        assert cam_search_energy_nj(64) == pytest.approx(2 * cam_search_energy_nj(32))
+
+    def test_access_energy_dispatch(self):
+        assert access_energy_nj(StructureKind.SRAM, 2 * 1024) == pytest.approx(ERT_2KB_READ_NJ)
+        assert access_energy_nj(StructureKind.CACHE, 32 * 1024) == pytest.approx(L1_32KB_READ_NJ)
+        assert access_energy_nj(StructureKind.CAM, 512, entries=32) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sram_read_energy_nj(0)
+        with pytest.raises(ConfigurationError):
+            cam_search_energy_nj(0)
+        with pytest.raises(ConfigurationError):
+            access_energy_nj(StructureKind.CAM, 512, entries=0)
+
+
+class TestEnergyModel:
+    def test_per_access_table_contains_all_structures(self):
+        energies = EnergyModel().per_access_energies_nj()
+        assert set(energies) == {"hl_lq", "hl_sq", "ll_lq", "ll_sq", "ert", "ssbf", "sqm", "cache"}
+        assert all(value > 0 for value in energies.values())
+
+    def test_ert_vs_cache_ratio(self):
+        assert EnergyModel().ert_vs_cache_read_ratio() == pytest.approx(0.02, abs=0.015)
+
+    def test_line_based_ert_energy_scales_with_l1(self):
+        hash_model = EnergyModel(ELSQConfig(ert=ERTConfig(kind=ERTKind.HASH, hash_bits=10)))
+        line_model = EnergyModel(ELSQConfig(ert=ERTConfig(kind=ERTKind.LINE)))
+        assert line_model.per_access_energies_nj()["ert"] == pytest.approx(
+            hash_model.per_access_energies_nj()["ert"]
+        )
+
+    def test_breakdown_from_simulation(self):
+        suite = quick_fp_suite()
+        result = Simulator(ooo_64()).run_suite(suite, num_instructions=1500, seed=3)
+        one = next(iter(result.results.values()))
+        breakdown = EnergyModel().breakdown(one)
+        assert breakdown.total_nj > 0
+        assert breakdown.nj("hl_sq") > 0
+        assert breakdown.nj("cache") > 0
+        assert breakdown.nj("ll_sq") == 0, "a conventional core never touches LL queues"
+        assert 0.0 <= breakdown.fraction("cache") <= 1.0
+
+    def test_fraction_of_missing_structure_is_zero(self):
+        suite = quick_fp_suite()
+        result = Simulator(ooo_64()).run_suite(suite, num_instructions=1000, seed=3)
+        breakdown = EnergyModel().breakdown(next(iter(result.results.values())))
+        assert breakdown.fraction("does_not_exist") == 0.0

@@ -1,0 +1,226 @@
+"""Tests for the cache hierarchy substrate (LRU, line locking, warm-up)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryHierarchyConfig
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import StatsRegistry
+from repro.isa.trace import RegionFootprint
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel
+from repro.memory.replacement import LruState
+
+
+def _tiny_cache(associativity: int = 2, sets: int = 4, line: int = 32) -> SetAssociativeCache:
+    config = CacheConfig(
+        size_bytes=associativity * sets * line,
+        associativity=associativity,
+        line_size=line,
+        latency=1,
+        name="tiny",
+    )
+    return SetAssociativeCache(config, StatsRegistry())
+
+
+class TestLruState:
+    def test_victim_is_least_recently_used(self):
+        lru = LruState(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)
+        assert lru.victim() == 0
+
+    def test_touch_moves_to_front(self):
+        lru = LruState(2)
+        lru.touch(0)
+        lru.touch(1)
+        lru.touch(0)
+        assert lru.victim() == 1
+
+    def test_locked_way_never_victim(self):
+        lru = LruState(2)
+        lru.touch(0)
+        lru.touch(1)
+        lru.lock(0)
+        assert lru.victim() == 1
+
+    def test_all_locked_has_no_victim(self):
+        lru = LruState(2)
+        lru.lock(0)
+        lru.lock(1)
+        assert lru.all_locked()
+        assert lru.victim() is None
+
+    def test_unlock_restores_eligibility(self):
+        lru = LruState(1)
+        lru.lock(0)
+        lru.unlock(0)
+        assert lru.victim() == 0
+
+    def test_out_of_range_way_rejected(self):
+        with pytest.raises(SimulationError):
+            LruState(2).touch(5)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LruState(0)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = _tiny_cache()
+        assert cache.access(0x1000).hit is False
+        assert cache.access(0x1000).hit is True
+
+    def test_same_line_different_offset_hits(self):
+        cache = _tiny_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1008).hit is True
+
+    def test_eviction_on_conflict(self):
+        cache = _tiny_cache(associativity=1, sets=4)
+        set_stride = 4 * 32  # addresses one "set wrap" apart map to the same set
+        cache.access(0x0)
+        result = cache.access(set_stride)
+        assert result.hit is False
+        assert result.evicted_line == 0
+
+    def test_probe_does_not_allocate(self):
+        cache = _tiny_cache()
+        assert cache.probe(0x2000) is False
+        assert cache.is_resident(0x2000) is False
+
+    def test_lock_allocates_and_pins(self):
+        cache = _tiny_cache(associativity=2, sets=2)
+        result = cache.lock_line(0x40, owner=3)
+        assert result.locked and result.allocated
+        assert cache.is_locked(0x40)
+        assert cache.locked_line_count() == 1
+
+    def test_locked_lines_survive_conflicting_fills(self):
+        cache = _tiny_cache(associativity=2, sets=1)
+        cache.lock_line(0x0, owner=1)
+        # Fill the other way and then force a conflict: the locked line stays.
+        cache.access(0x20)
+        cache.access(0x40)
+        assert cache.is_resident(0x0)
+
+    def test_lock_conflict_when_set_fully_locked(self):
+        cache = _tiny_cache(associativity=2, sets=1)
+        assert cache.lock_line(0x00, owner=1).locked
+        assert cache.lock_line(0x20, owner=1).locked
+        result = cache.lock_line(0x40, owner=2)
+        assert result.conflict and not result.locked
+        assert cache.set_fully_locked(0x40)
+
+    def test_unlock_owner_releases_everything(self):
+        cache = _tiny_cache(associativity=2, sets=2)
+        cache.lock_line(0x00, owner=7)
+        cache.lock_line(0x20, owner=7)
+        released = cache.unlock_owner(7)
+        assert released == 2
+        assert cache.locked_line_count() == 0
+        assert not cache.is_locked(0x00)
+
+    def test_line_locked_by_two_owners_needs_both_released(self):
+        cache = _tiny_cache()
+        cache.lock_line(0x100, owner=1)
+        cache.lock_line(0x100, owner=2)
+        cache.unlock_owner(1)
+        assert cache.is_locked(0x100)
+        cache.unlock_owner(2)
+        assert not cache.is_locked(0x100)
+
+    def test_stats_disabled_suppresses_counters(self):
+        stats = StatsRegistry()
+        config = CacheConfig(size_bytes=2 * 4 * 32, associativity=2, line_size=32, latency=1, name="c")
+        cache = SetAssociativeCache(config, stats)
+        cache.stats_enabled = False
+        cache.access(0x0)
+        assert stats.value("c.misses") == 0
+        cache.stats_enabled = True
+        cache.access(0x1000)
+        assert stats.value("c.misses") == 1
+
+
+class TestMemoryHierarchy:
+    def test_latencies_accumulate(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.access(0x1234)
+        assert first.level is MemoryLevel.MAIN_MEMORY
+        assert first.latency == 1 + 10 + 400
+        second = hierarchy.access(0x1234)
+        assert second.level is MemoryLevel.L1
+        assert second.latency == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0x0)
+        # Evict 0x0 from L1 by filling its set (L1 is 4-way, 256 sets).
+        set_stride = 256 * 32
+        for way in range(1, 6):
+            hierarchy.access(way * set_stride)
+        result = hierarchy.access(0x0)
+        assert result.level is MemoryLevel.L2
+        assert result.latency == 11
+
+    def test_probe_level_does_not_modify(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.probe_level(0x999000) is MemoryLevel.MAIN_MEMORY
+        assert hierarchy.probe_level(0x999000) is MemoryLevel.MAIN_MEMORY
+
+    def test_latency_for_level(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.latency_for_level(MemoryLevel.L1) == 1
+        assert hierarchy.latency_for_level(MemoryLevel.L2) == 11
+        assert hierarchy.latency_for_level(MemoryLevel.MAIN_MEMORY) == 411
+
+    def test_lock_passthrough(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.lock_l1_line(0x40, owner=1).locked
+        assert hierarchy.unlock_l1_owner(1) == 1
+
+    def test_warm_up_addresses_is_silent(self):
+        stats = StatsRegistry()
+        hierarchy = MemoryHierarchy(stats=stats)
+        count = hierarchy.warm_up([0x1000, 0x2000, 0x1000])
+        assert count == 3
+        assert stats.value("L1.misses") == 0
+        assert hierarchy.access(0x1000).level is MemoryLevel.L1
+
+    def test_warm_up_regions_small_region_becomes_resident(self):
+        hierarchy = MemoryHierarchy()
+        small = RegionFootprint(name="hot", base_address=0, size_bytes=16 * 1024, weight=0.9, pattern="stream")
+        hierarchy.warm_up_regions([small])
+        assert hierarchy.access(0x0).level is MemoryLevel.L1
+
+    def test_warm_up_regions_huge_region_still_misses_at_start(self):
+        hierarchy = MemoryHierarchy()
+        huge = RegionFootprint(
+            name="far", base_address=0x10_000_000, size_bytes=16 * 1024 * 1024, weight=0.1, pattern="stream"
+        )
+        hierarchy.warm_up_regions([huge])
+        # The resident tail is the end of the region; its beginning still misses.
+        assert hierarchy.access(0x10_000_000).level is MemoryLevel.MAIN_MEMORY
+
+    def test_warm_up_regions_orders_by_density(self):
+        hierarchy = MemoryHierarchy()
+        # The dense small region must win L1 residency over the sparse one.
+        dense = RegionFootprint(name="dense", base_address=0, size_bytes=16 * 1024, weight=0.9, pattern="stream")
+        sparse = RegionFootprint(
+            name="sparse", base_address=0x1_000_000, size_bytes=32 * 1024, weight=0.01, pattern="stream"
+        )
+        hierarchy.warm_up_regions([sparse, dense])
+        assert hierarchy.access(0x0).level is MemoryLevel.L1
+
+    def test_with_l2_size_changes_capacity_behaviour(self):
+        small = MemoryHierarchy(MemoryHierarchyConfig().with_l2_size(1024 * 1024))
+        large = MemoryHierarchy(MemoryHierarchyConfig().with_l2_size(8 * 1024 * 1024))
+        region = RegionFootprint(
+            name="mid", base_address=0, size_bytes=3 * 1024 * 1024, weight=0.5, pattern="stream"
+        )
+        small.warm_up_regions([region])
+        large.warm_up_regions([region])
+        assert large.probe_level(0x0) is not MemoryLevel.MAIN_MEMORY
+        assert small.probe_level(0x0) is MemoryLevel.MAIN_MEMORY

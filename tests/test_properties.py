@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, ERTConfig, ERTKind, SVWConfig
+from repro.common.stats import Histogram, StatsRegistry
+from repro.core.bloom import AddressHash, CountingBloomFilter
+from repro.core.ert import HashBasedERT
+from repro.core.queues import StoreBuffer
+from repro.core.records import Locality, StoreRecord
+from repro.core.svw import StoreVulnerabilityWindow
+from repro.isa.instruction import load, store
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.replacement import LruState
+from repro.uarch.resources import BandwidthAllocator, OccupancyWindow
+
+addresses = st.integers(min_value=0, max_value=1 << 30).map(lambda value: value & ~0x7)
+
+
+@given(st.lists(addresses, min_size=1, max_size=200), st.integers(min_value=1, max_value=16))
+def test_bloom_filter_never_false_negative(address_list, bits):
+    bloom = CountingBloomFilter(bits)
+    for address in address_list:
+        bloom.insert(address)
+    assert all(bloom.may_contain(address) for address in address_list)
+
+
+@given(st.lists(addresses, min_size=1, max_size=100), st.integers(min_value=1, max_value=16))
+def test_bloom_filter_insert_remove_returns_to_empty(address_list, bits):
+    bloom = CountingBloomFilter(bits)
+    for address in address_list:
+        bloom.insert(address)
+    for address in address_list:
+        bloom.remove(address)
+    assert bloom.population == 0
+
+
+@given(addresses, addresses)
+def test_address_hash_equal_addresses_always_collide(a, b):
+    hashed = AddressHash(10)
+    if a == b:
+        assert hashed.collides(a, b)
+    if not hashed.collides(a, b):
+        assert a != b
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=100))
+def test_lru_victim_is_always_unlocked_or_none(touch_sequence):
+    lru = LruState(4)
+    for way in touch_sequence:
+        lru.touch(way)
+    lru.lock(0)
+    victim = lru.victim()
+    assert victim is None or not lru.is_locked(victim)
+
+
+@given(st.lists(addresses, min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_cache_hit_after_access_unless_evicted(address_list):
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=4 * 1024, associativity=4, line_size=32, latency=1, name="t")
+    )
+    for address in address_list:
+        cache.access(address)
+    # The most recently accessed address is always resident.
+    assert cache.is_resident(address_list[-1])
+
+
+@given(st.lists(addresses, min_size=1, max_size=200), st.integers(min_value=4, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_ert_candidates_only_ever_contain_live_epochs(address_list, bits):
+    ert = HashBasedERT(ERTConfig(kind=ERTKind.HASH, hash_bits=bits), StatsRegistry())
+    for index, address in enumerate(address_list):
+        ert.insert_store(address, epoch_id=index % 8)
+    live = {0, 1, 2}
+    for address in address_list:
+        candidates = ert.store_candidate_epochs(address, live_epochs=live)
+        assert set(candidates) <= live
+        assert candidates == sorted(candidates, reverse=True)
+
+
+@given(
+    st.lists(
+        st.tuples(addresses, st.integers(min_value=1, max_value=500)),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_store_buffer_forwarding_store_is_older_matching_and_known(pairs):
+    buffer = StoreBuffer()
+    for seq, (address, commit_offset) in enumerate(pairs):
+        buffer.add(
+            StoreRecord(
+                seq=seq,
+                address=address,
+                size=8,
+                decode_cycle=seq,
+                addr_ready_cycle=seq + 2,
+                data_ready_cycle=seq + 3,
+                commit_cycle=seq + 2 + commit_offset,
+                locality=Locality.HIGH,
+            )
+        )
+    probe_seq = len(pairs)
+    probe_cycle = len(pairs) + 10
+    for address, _ in pairs:
+        result = buffer.find_any_forwarding(address, 8, before_seq=probe_seq, cycle=probe_cycle)
+        if result.hit:
+            found = result.store
+            assert found.seq < probe_seq
+            assert found.overlaps(address, 8)
+            assert found.address_known_at(probe_cycle)
+            assert found.in_flight_at(probe_cycle)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_bandwidth_allocator_never_exceeds_width(cycles, width):
+    allocator = BandwidthAllocator(width)
+    allocations = [allocator.allocate(cycle) for cycle in sorted(cycles)]
+    for desired, got in zip(sorted(cycles), allocations):
+        assert got >= desired
+    per_cycle = {}
+    for cycle in allocations:
+        per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+    assert max(per_cycle.values()) <= width
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=64))
+def test_occupancy_window_constraint_is_monotonic_under_sorted_pushes(releases, capacity):
+    window = OccupancyWindow(capacity)
+    previous_constraint = 0
+    for release in sorted(releases):
+        constraint = window.constraint()
+        assert constraint >= previous_constraint
+        previous_constraint = constraint
+        window.push(release)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=10_000, allow_nan=False), min_size=1, max_size=300))
+def test_histogram_mass_is_conserved(values):
+    histogram = Histogram("h", bin_width=30, num_bins=40)
+    for value in values:
+        histogram.record(value)
+    assert sum(histogram.bins) + histogram.overflow == len(values)
+    assert histogram.count == len(values)
+
+
+@given(
+    st.lists(st.tuples(addresses, st.integers(min_value=1, max_value=1000)), min_size=1, max_size=150),
+    st.integers(min_value=2, max_value=14),
+)
+@settings(max_examples=30, deadline=None)
+def test_svw_never_misses_a_truly_vulnerable_load(commits, bits):
+    """A load whose address was overwritten by a store committing inside its
+    vulnerability window must always re-execute (the SSBF has no false
+    negatives)."""
+    svw = StoreVulnerabilityWindow(SVWConfig(ssbf_index_bits=bits), StatsRegistry())
+    issue_cycle = 0
+    for seq, (address, commit) in enumerate(sorted(commits, key=lambda pair: pair[1])):
+        svw.store_committed(
+            StoreRecord(
+                seq=seq,
+                address=address,
+                size=8,
+                decode_cycle=0,
+                addr_ready_cycle=1,
+                data_ready_cycle=1,
+                commit_cycle=commit,
+                locality=Locality.HIGH,
+            )
+        )
+    target_address, target_commit = max(commits, key=lambda pair: pair[1])
+    if target_commit > issue_cycle:
+        from repro.core.records import LoadRecord
+
+        decision = svw.check_load(
+            LoadRecord(
+                seq=len(commits) + 1,
+                address=target_address,
+                size=8,
+                decode_cycle=0,
+                issue_cycle=issue_cycle,
+                locality=Locality.HIGH,
+            )
+        )
+        assert decision.reexecute
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_trace_round_trip_property(data):
+    instructions = []
+    for seq in range(data.draw(st.integers(min_value=1, max_value=40))):
+        if data.draw(st.booleans()):
+            instructions.append(load(seq, dest=8, address=data.draw(addresses)))
+        else:
+            instructions.append(store(seq, address=data.draw(addresses), srcs=(1,)))
+    from repro.isa.trace import Trace
+
+    trace = Trace(instructions, name="prop")
+    stats = trace.statistics()
+    assert stats.num_loads + stats.num_stores == len(instructions)

@@ -1,0 +1,155 @@
+"""Tests for the machine configurations, simulator driver and suite results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DisambiguationModel, ERTKind, LoadQueueScheme
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core.conventional import ConventionalLSQ, IdealCentralLSQ
+from repro.core.elsq import EpochBasedLSQ
+from repro.fmc.processor import FMCProcessor
+from repro.sim.configs import (
+    PAPER_CONFIGS,
+    MachineKind,
+    fmc_central,
+    fmc_elsq,
+    fmc_hash,
+    fmc_hash_rsac,
+    fmc_hash_svw,
+    fmc_line,
+    machine_by_name,
+    ooo_64,
+    ooo_64_svw,
+)
+from repro.sim.simulator import Simulator, SuiteResult
+from repro.uarch.ooo_core import OutOfOrderCore
+from repro.workloads.spec_fp import swim_like
+from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+
+class TestMachineConfigs:
+    def test_paper_registry_names(self):
+        assert set(PAPER_CONFIGS) == {
+            "OoO-64",
+            "OoO-64-SVW",
+            "FMC-Central",
+            "FMC-Line",
+            "FMC-Hash",
+            "FMC-Hash-SVW",
+            "FMC-Hash-RSAC",
+        }
+
+    def test_machine_by_name(self):
+        assert machine_by_name("OoO-64").kind is MachineKind.CONVENTIONAL
+        with pytest.raises(ConfigurationError):
+            machine_by_name("not-a-machine")
+
+    def test_ooo_builds_conventional_core(self):
+        core = ooo_64().build()
+        assert isinstance(core, OutOfOrderCore)
+        assert isinstance(core.policy, ConventionalLSQ)
+
+    def test_ooo_svw_policy(self):
+        core = ooo_64_svw(8, check_stores=True).build()
+        assert isinstance(core.policy, ConventionalLSQ)
+        assert core.policy.load_queue_scheme is LoadQueueScheme.SVW_REEXECUTION
+
+    def test_fmc_central_hosts_ideal_lsq(self):
+        processor = fmc_central().build()
+        assert isinstance(processor, FMCProcessor)
+        assert isinstance(processor.policy, IdealCentralLSQ)
+
+    def test_fmc_hash_hosts_elsq(self):
+        processor = fmc_hash().build()
+        assert isinstance(processor.policy, EpochBasedLSQ)
+        assert processor.policy.config.ert.kind is ERTKind.HASH
+
+    def test_fmc_line_uses_line_ert(self):
+        assert fmc_line().elsq.ert.kind is ERTKind.LINE
+
+    def test_fmc_hash_rsac_model(self):
+        assert fmc_hash_rsac().elsq.disambiguation is DisambiguationModel.RESTRICTED_SAC
+
+    def test_fmc_hash_svw_scheme(self):
+        config = fmc_hash_svw(8)
+        assert config.elsq.load_queue_scheme is LoadQueueScheme.SVW_REEXECUTION
+        assert config.elsq.svw.ssbf_index_bits == 8
+
+    def test_fmc_elsq_epoch_sizing_override(self):
+        config = fmc_elsq(epoch_load_entries=16, epoch_store_entries=8)
+        assert config.elsq.epoch_load_entries == 16
+        assert config.elsq.epoch_store_entries == 8
+
+    def test_naming_defaults(self):
+        assert fmc_hash(store_queue_mirror=False).name == "FMC-Hash-noSQM"
+        assert fmc_line().name == "FMC-Line"
+
+    def test_with_hierarchy_derivation(self):
+        from repro.common.config import MemoryHierarchyConfig
+
+        derived = fmc_hash().with_hierarchy(
+            MemoryHierarchyConfig().with_l2_size(1024 * 1024), name="FMC-1MB"
+        )
+        assert derived.name == "FMC-1MB"
+        assert derived.hierarchy.l2.size_bytes == 1024 * 1024
+
+    def test_invalid_kind_lsq_combination_rejected(self):
+        from repro.sim.configs import LSQKind, MachineConfig
+
+        bad = MachineConfig(name="bad", kind=MachineKind.CONVENTIONAL, lsq=LSQKind.ELSQ)
+        with pytest.raises(ConfigurationError):
+            bad.build()
+
+
+class TestSimulator:
+    def test_run_trace(self, small_trace):
+        result = Simulator(ooo_64()).run_trace(small_trace)
+        assert result.committed_instructions == len(small_trace)
+
+    def test_run_workload(self):
+        result = Simulator(ooo_64()).run_workload(swim_like(), num_instructions=1200, seed=2)
+        assert result.committed_instructions == 1200
+
+    def test_run_suite_aggregates(self):
+        suite = quick_fp_suite()
+        result = Simulator(ooo_64()).run_suite(suite, num_instructions=1200, seed=2)
+        assert isinstance(result, SuiteResult)
+        assert result.workload_names() == suite.member_names()
+        assert result.mean_ipc > 0
+
+    def test_run_suite_with_shared_traces(self):
+        suite = quick_int_suite()
+        traces = suite.generate_traces(1000, seed=3)
+        a = Simulator(ooo_64()).run_suite(suite, traces=traces)
+        b = Simulator(ooo_64()).run_suite(suite, traces=traces)
+        assert a.mean_ipc == pytest.approx(b.mean_ipc)
+
+    def test_speedup_over(self):
+        suite = quick_fp_suite()
+        traces = suite.generate_traces(1500, seed=4)
+        baseline = Simulator(ooo_64()).run_suite(suite, traces=traces)
+        fmc = Simulator(fmc_hash()).run_suite(suite, traces=traces)
+        assert fmc.speedup_over(baseline) > 1.0
+
+    def test_mean_counter_per_100m(self):
+        suite = quick_fp_suite()
+        result = Simulator(ooo_64()).run_suite(suite, num_instructions=1200, seed=2)
+        assert result.mean_counter_per_100m("hl_sq.searches") > 0
+        assert result.mean_counter_per_100m_millions("hl_sq.searches") == pytest.approx(
+            result.mean_counter_per_100m("hl_sq.searches") / 1e6
+        )
+
+    def test_high_locality_fraction_only_for_fmc(self):
+        suite = quick_fp_suite()
+        traces = suite.generate_traces(1200, seed=2)
+        conventional = Simulator(ooo_64()).run_suite(suite, traces=traces)
+        fmc = Simulator(fmc_hash()).run_suite(suite, traces=traces)
+        assert conventional.mean_high_locality_fraction() is None
+        assert fmc.mean_high_locality_fraction() is not None
+        assert conventional.mean_allocated_epochs() is None
+        assert fmc.mean_allocated_epochs() is not None
+
+    def test_empty_suite_result_rejected(self):
+        with pytest.raises(SimulationError):
+            SuiteResult(machine_name="x", suite_name="y", results={})
