@@ -6,12 +6,23 @@ minutes on a laptop.  The experiment context is session-scoped so all
 benchmarks replay the exact same traces; use
 ``python -m pytest benchmarks --benchmark-only -s`` to see the regenerated
 tables/figures inline.
+
+All simulations go through the orchestration layer
+(:class:`repro.exp.ExperimentRunner`).  Two environment variables tune it:
+
+* ``REPRO_BENCH_JOBS`` -- worker processes for the sweeps (default 1,
+  i.e. in-process; note that parallel timings measure the pool too).
+* ``REPRO_BENCH_CACHE`` -- result cache directory.  Unset by default so the
+  benchmarks always measure real simulation time, never cache reads.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.exp import ExperimentRunner, ResultCache
 from repro.sim.experiments import ExperimentContext
 from repro.workloads.suite import quick_fp_suite, quick_int_suite
 
@@ -24,12 +35,18 @@ BENCH_SEED = 2008
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
-    """The shared reduced experiment campaign."""
+    """The shared reduced experiment campaign, routed through the runner."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    runner = ExperimentRunner(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache=ResultCache(cache_dir) if cache_dir else None,
+    )
     return ExperimentContext(
         fp_suite=quick_fp_suite(),
         int_suite=quick_int_suite(),
         instructions_per_workload=BENCH_INSTRUCTIONS,
         seed=BENCH_SEED,
+        runner=runner,
     )
 
 

@@ -11,35 +11,40 @@ A downstream architect adopting the ELSQ has two first-order knobs:
 
 This example sweeps both on a SPEC-FP-like workload and prints a small
 decision table: performance, false-positive traffic and estimated per-access
-energy of the filter.
+energy of the filter.  The sweeps run through the experiment runner, so
+re-running the script reuses every completed simulation from the on-disk
+cache and ``--jobs N`` fans the sweep out over worker processes.
 
 Run with::
 
-    python examples/design_space_exploration.py
+    python examples/design_space_exploration.py [--jobs N]
 """
 
 from __future__ import annotations
 
-from repro import EnergyModel, Simulator, fmc_elsq, ooo_64
+import argparse
+
+from repro import EnergyModel, ExperimentRunner, ResultCache, fmc_elsq, ooo_64
 from repro.common.config import ELSQConfig, ERTConfig, ERTKind
 from repro.workloads.spec_fp import equake_like, swim_like
 from repro.workloads.suite import WorkloadSuite
 
 INSTRUCTIONS = 8_000
+SEED = 7
 SUITE = WorkloadSuite(name="exploration", members=(swim_like(), equake_like()))
 
 
-def sweep_filters(traces) -> None:
+def sweep_filters(runner: ExperimentRunner) -> None:
     print("-- ERT filter sweep (FP-like) --")
     print(f"{'filter':<14} {'IPC':>6} {'false pos / 100M':>18} {'nJ / lookup':>12}")
-    baseline = Simulator(ooo_64()).run_suite(SUITE, traces=traces)
+    baseline = runner.run_suite(ooo_64(), SUITE, INSTRUCTIONS, seed=SEED)
     configurations = [("line", fmc_elsq(ert_kind=ERTKind.LINE, name="line"))]
     configurations += [
         (f"hash-{bits}b", fmc_elsq(ert_kind=ERTKind.HASH, hash_bits=bits, name=f"hash-{bits}"))
         for bits in (6, 8, 10, 12, 14)
     ]
     for label, machine in configurations:
-        result = Simulator(machine).run_suite(SUITE, traces=traces)
+        result = runner.run_suite(machine, SUITE, INSTRUCTIONS, seed=SEED)
         energy = EnergyModel(machine.elsq, machine.hierarchy).per_access_energies_nj()["ert"]
         print(
             f"{label:<14} {result.mean_ipc:>6.2f} "
@@ -49,22 +54,25 @@ def sweep_filters(traces) -> None:
     print(f"(OoO-64 baseline IPC for reference: {baseline.mean_ipc:.2f})\n")
 
 
-def sweep_epoch_sizes(traces) -> None:
+def sweep_epoch_sizes(runner: ExperimentRunner) -> None:
     print("-- per-epoch LSQ sizing sweep (FP-like) --")
     print(f"{'LQ x SQ':<12} {'IPC':>6}")
     for loads, stores in ((16, 8), (32, 16), (64, 32), (128, 64)):
         machine = fmc_elsq(
             epoch_load_entries=loads, epoch_store_entries=stores, name=f"{loads}x{stores}"
         )
-        result = Simulator(machine).run_suite(SUITE, traces=traces)
+        result = runner.run_suite(machine, SUITE, INSTRUCTIONS, seed=SEED)
         print(f"{loads:>3} x {stores:<5} {result.mean_ipc:>6.2f}")
     print()
 
 
 def main() -> None:
-    traces = SUITE.generate_traces(INSTRUCTIONS, seed=7)
-    sweep_filters(traces)
-    sweep_epoch_sizes(traces)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1)")
+    args = parser.parse_args()
+    runner = ExperimentRunner(jobs=args.jobs, cache=ResultCache(".repro-cache"))
+    sweep_filters(runner)
+    sweep_epoch_sizes(runner)
     print("Default ELSQ configuration used by the paper:")
     default = ELSQConfig()
     print(f"  HL-LSQ: {default.hl_load_entries} loads / {default.hl_store_entries} stores")
@@ -73,6 +81,10 @@ def main() -> None:
         f"({default.epoch_load_entries} loads / {default.epoch_store_entries} stores)"
     )
     print(f"  filter: {ERTConfig().kind.value}-based, {ERTConfig().hash_bits} index bits")
+    print(
+        f"\n(runner: {runner.executed_jobs} simulations executed, "
+        f"{runner.cache_hits} served from cache)"
+    )
 
 
 if __name__ == "__main__":

@@ -2,31 +2,35 @@
 """Quickstart: compare the ELSQ-equipped FMC against the OoO-64 baseline.
 
 This is the smallest end-to-end use of the library: build the two machines
-the paper compares in Figure 7, run them over a couple of SPEC-like synthetic
-workloads, and print IPC, speed-up and the headline ELSQ statistics.
+the paper compares in Figure 7 and run them over a couple of SPEC-like
+synthetic workloads through the experiment runner, which caches every
+simulation under ``.repro-cache`` -- run the script twice and the second run
+completes without simulating anything.
 
 Run with::
 
     python examples/quickstart.py
+
+(For the full paper figures use the CLI: ``python -m repro fig7 --jobs 4``.)
 """
 
 from __future__ import annotations
 
-from repro import Simulator, fmc_hash, ooo_64
+from repro import ExperimentRunner, ResultCache, fmc_hash, ooo_64
 from repro.workloads.suite import quick_fp_suite, quick_int_suite
 
 #: Instructions simulated per workload.  Increase for smoother numbers.
 INSTRUCTIONS = 12_000
 
+#: Campaign seed: both machines replay the exact same instruction streams.
+SEED = 2008
+
 
 def main() -> None:
+    runner = ExperimentRunner(jobs=1, cache=ResultCache(".repro-cache"))
     for label, suite in (("SPEC FP (quick)", quick_fp_suite()), ("SPEC INT (quick)", quick_int_suite())):
-        # Generate each workload's trace once so both machines replay the
-        # exact same instruction stream.
-        traces = suite.generate_traces(INSTRUCTIONS, seed=2008)
-
-        baseline = Simulator(ooo_64()).run_suite(suite, traces=traces)
-        elsq = Simulator(fmc_hash()).run_suite(suite, traces=traces)
+        baseline = runner.run_suite(ooo_64(), suite, INSTRUCTIONS, seed=SEED)
+        elsq = runner.run_suite(fmc_hash(), suite, INSTRUCTIONS, seed=SEED)
 
         print(f"== {label} ==")
         print(f"  OoO-64 baseline IPC : {baseline.mean_ipc:.2f}")
@@ -44,6 +48,10 @@ def main() -> None:
             )
         )
         print()
+    print(
+        f"(runner: {runner.executed_jobs} simulations executed, "
+        f"{runner.cache_hits} served from .repro-cache)"
+    )
 
 
 if __name__ == "__main__":

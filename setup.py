@@ -1,14 +1,36 @@
-"""Legacy setup shim.
+"""Packaging for the ELSQ reproduction.
 
-The project is declared in ``pyproject.toml``; this file only exists so that
-fully offline environments (no access to PyPI for build-isolation
+The package lives under ``src/`` (the ``repro`` import package) and ships a
+``repro`` console script for the experiment CLI (equivalent to
+``python -m repro``).  Install with::
+
+    pip install -e .
+
+Fully offline environments (no access to PyPI for build-isolation
 requirements, no ``wheel`` package) can still do an editable install with::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e . --no-build-isolation
 
-Regular environments should simply use ``pip install -e .``.
+Tool configuration (ruff, pytest) lives in ``pyproject.toml``; the packaging
+metadata is declared here so the offline path keeps working with old
+setuptools releases that predate PEP 621.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-elsq",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'A Two-Level Load/Store Queue Based on Execution "
+        "Locality' (Pericas et al., ISCA 2008)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro = repro.exp.cli:main",
+        ]
+    },
+)

@@ -79,6 +79,10 @@ from repro.sim import (
     quick_context,
 )
 from repro.uarch import CoreResult, OutOfOrderCore
+
+# Imported after repro.sim: the orchestration layer builds on the simulation
+# driver, and repro.sim.experiments itself imports repro.exp.runner.
+from repro.exp import ExperimentRunner, ResultCache, SimJob, SweepCase
 from repro.workloads import (
     SyntheticWorkload,
     WorkloadParameters,
@@ -105,6 +109,7 @@ __all__ = [
     "EnergyModel",
     "EpochBasedLSQ",
     "ExperimentContext",
+    "ExperimentRunner",
     "FMCConfig",
     "FMCProcessor",
     "HashBasedERT",
@@ -120,13 +125,16 @@ __all__ = [
     "MemoryHierarchyConfig",
     "OutOfOrderCore",
     "ReproError",
+    "ResultCache",
     "SVWConfig",
+    "SimJob",
     "SimulationError",
     "Simulator",
     "StatsRegistry",
     "StoreQueueMirror",
     "StoreVulnerabilityWindow",
     "SuiteResult",
+    "SweepCase",
     "SyntheticWorkload",
     "Trace",
     "TraceError",

@@ -1,0 +1,139 @@
+"""Stable JSON (de)serialization and hashing of configuration dataclasses.
+
+The experiment orchestration layer (:mod:`repro.exp`) needs two guarantees
+that ``pickle`` and ``hash()`` do not give:
+
+* a **canonical, process-independent representation** of a configuration so
+  that the on-disk result cache can be shared between runs, machines and
+  Python versions (``hash()`` is salted per process; ``pickle`` is neither
+  canonical nor stable across versions), and
+* a **round trip** from configuration objects to plain JSON and back, so
+  cached results and CLI artifacts can record exactly which machine and
+  workload produced them.
+
+:func:`to_jsonable` lowers any tree of frozen dataclasses, enums, tuples and
+primitives to plain JSON types; :func:`from_jsonable` rebuilds the original
+objects from the dataclass type hints; :func:`stable_hash` derives a SHA-256
+content address from the canonical JSON form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import typing
+from typing import Any, Mapping, Type, TypeVar, Union
+
+from repro.common.errors import ConfigurationError
+
+_T = TypeVar("_T")
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Lower ``obj`` to plain JSON types (dict / list / str / int / float / bool / None).
+
+    Dataclasses become ``{field: value}`` dictionaries (fields whose names
+    start with an underscore are treated as derived state and skipped), enums
+    become their ``value``, and tuples become lists.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+            if not field.name.startswith("_")
+        }
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, Mapping):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise ConfigurationError(f"cannot serialise {type(obj).__name__} to JSON")
+
+
+def from_jsonable(cls: Type[_T], data: Any) -> _T:
+    """Rebuild an instance of dataclass ``cls`` from :func:`to_jsonable` output.
+
+    Reconstruction is driven by the dataclass type hints and supports the
+    vocabulary the configuration classes use: nested dataclasses, enums,
+    ``Optional``, homogeneous and fixed-arity tuples, lists, dicts and
+    primitives.
+    """
+    return _build(cls, data)
+
+
+def _build(annotation: Any, data: Any) -> Any:
+    if annotation is Any:
+        return data
+    origin = typing.get_origin(annotation)
+    if origin is None:
+        if dataclasses.is_dataclass(annotation):
+            return _build_dataclass(annotation, data)
+        if isinstance(annotation, type) and issubclass(annotation, enum.Enum):
+            return annotation(data)
+        if annotation is float:
+            return float(data)
+        if annotation in (int, str, bool):
+            return data
+        if annotation is type(None):
+            return None
+        raise ConfigurationError(f"cannot deserialise into {annotation!r}")
+    if origin is tuple:
+        args = typing.get_args(annotation)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_build(args[0], item) for item in data)
+        if len(args) != len(data):
+            raise ConfigurationError(
+                f"expected {len(args)} tuple items for {annotation!r}, got {len(data)}"
+            )
+        return tuple(_build(arg, item) for arg, item in zip(args, data))
+    if origin is list:
+        (item_type,) = typing.get_args(annotation)
+        return [_build(item_type, item) for item in data]
+    if origin is dict:
+        key_type, value_type = typing.get_args(annotation)
+        return {_build(key_type, key): _build(value_type, value) for key, value in data.items()}
+    if origin is Union:
+        members = [arg for arg in typing.get_args(annotation) if arg is not type(None)]
+        if data is None:
+            return None
+        for member in members:
+            try:
+                return _build(member, data)
+            except (ConfigurationError, TypeError, ValueError, KeyError):
+                continue
+        raise ConfigurationError(f"no member of {annotation!r} accepts {data!r}")
+    raise ConfigurationError(f"cannot deserialise into {annotation!r}")
+
+
+def _build_dataclass(cls: Type[_T], data: Any) -> _T:
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"expected a mapping to rebuild {cls.__name__}, got {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if not field.init or field.name.startswith("_"):
+            continue
+        if field.name in data:
+            kwargs[field.name] = _build(hints[field.name], data[field.name])
+    return cls(**kwargs)
+
+
+def canonical_json(obj: Any) -> str:
+    """Return the canonical (sorted-key, minimal-separator) JSON form of ``obj``."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj: Any) -> str:
+    """Return a SHA-256 content address of ``obj``'s canonical JSON form.
+
+    The hash is stable across processes, interpreter restarts and
+    ``PYTHONHASHSEED`` values, so it is safe to use as an on-disk cache key.
+    """
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,0 +1,29 @@
+"""Experiment orchestration: parallel sweeps, result caching and the CLI.
+
+This package turns the library into a reproducible experiment platform:
+
+* :mod:`repro.exp.runner` -- :class:`~repro.exp.runner.ExperimentRunner` fans
+  sweeps (machine configurations x workload suites) out over a
+  ``multiprocessing`` pool, with every simulation expressed as a
+  deterministic, content-addressed :class:`~repro.exp.runner.SimJob`.
+* :mod:`repro.exp.cache` -- :class:`~repro.exp.cache.ResultCache`, an
+  on-disk JSON store keyed by the stable hash of (machine configuration,
+  workload parameters, trace length, seed), so re-running a figure only
+  simulates what changed.
+* :mod:`repro.exp.cli` -- the ``python -m repro`` command line interface
+  that reproduces any paper figure/table, lists cached results and emits
+  machine-readable artifacts.
+"""
+
+from repro.exp.cache import CacheEntry, ResultCache
+from repro.exp.runner import ExperimentRunner, SimJob, SweepCase, job_key, run_job
+
+__all__ = [
+    "CacheEntry",
+    "ExperimentRunner",
+    "ResultCache",
+    "SimJob",
+    "SweepCase",
+    "job_key",
+    "run_job",
+]

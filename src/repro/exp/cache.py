@@ -1,0 +1,130 @@
+"""The content-addressed on-disk result cache.
+
+Every simulation the orchestration layer runs is identified by a stable
+SHA-256 key derived from the full machine configuration, the workload
+parameters, the trace length and the seed (see
+:func:`repro.exp.runner.job_key`).  :class:`ResultCache` stores one JSON file
+per key under ``<root>/<key[:2]>/<key>.json``; because the key is a content
+address, a cached entry is valid forever -- changing any input produces a
+different key, so there is no invalidation logic and no staleness.
+
+Writes are atomic (temporary file + ``os.replace``) so concurrent runs and
+interrupted sweeps can share a cache directory safely; a corrupt or
+truncated entry is treated as a miss and overwritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.common.errors import ReproError
+from repro.uarch.result import CoreResult
+
+#: Bump when the on-disk entry layout changes; mismatched entries are misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one cached simulation (as shown by ``repro cache list``)."""
+
+    key: str
+    path: Path
+    machine: str
+    workload: str
+    num_instructions: int
+    seed: Optional[int]
+    created: float
+    size_bytes: int
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`CoreResult` records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Return the file path a key maps to (two-level fan-out layout)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CoreResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable, corrupt or schema-mismatched entries are silently treated
+        as misses; the next :meth:`put` overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return CoreResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, ReproError):
+            return None
+
+    def put(
+        self, key: str, result: CoreResult, metadata: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Store ``result`` under ``key`` atomically and return the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "created": time.time(),
+            "metadata": metadata or {},
+            "result": result.to_dict(),
+        }
+        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(temporary, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate over every readable cache entry, newest first."""
+        records = []
+        for path in sorted(self.root.glob("??/*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+                continue
+            metadata = payload.get("metadata", {})
+            records.append(
+                CacheEntry(
+                    key=payload.get("key", path.stem),
+                    path=path,
+                    machine=metadata.get("machine", "?"),
+                    workload=metadata.get("workload", "?"),
+                    num_instructions=metadata.get("num_instructions", 0),
+                    seed=metadata.get("seed"),
+                    created=payload.get("created", 0.0),
+                    size_bytes=path.stat().st_size,
+                )
+            )
+        records.sort(key=lambda entry: entry.created, reverse=True)
+        return iter(records)
+
+    def clear(self) -> int:
+        """Delete every cache entry and return how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -1,0 +1,415 @@
+"""The ``python -m repro`` command line interface.
+
+Reproduce any paper figure/table from the shell, with parallelism and an
+on-disk result cache::
+
+    python -m repro fig7 --jobs 4 --cache-dir .repro-cache
+    python -m repro all --full --jobs 8 --json results.json
+    python -m repro cache list
+    python -m repro bench --jobs 4 --output BENCH_pr1.json
+
+Every figure command prints the paper-layout text table plus a one-line
+runner summary (simulations executed vs cache hits); ``--json`` additionally
+writes a machine-readable artifact containing the full result series and the
+campaign parameters.  A second invocation with the same parameters and cache
+directory completes entirely from the cache, executing zero simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.serialize import to_jsonable
+from repro.exp.cache import ResultCache
+from repro.exp.runner import ExperimentRunner, clear_trace_memo
+from repro.sim import experiments, tables
+from repro.sim.configs import PAPER_CONFIGS
+from repro.sim.experiments import ExperimentContext
+from repro.sim.simulator import DEFAULT_INSTRUCTIONS_PER_WORKLOAD
+from repro.workloads.suite import (
+    quick_fp_suite,
+    quick_int_suite,
+    spec_fp_suite,
+    spec_int_suite,
+)
+
+#: Trace length of the default (quick) campaign; matches benchmarks/conftest.py.
+QUICK_INSTRUCTIONS = 8_000
+
+#: Seed of the default campaign (the paper's publication year).
+DEFAULT_SEED = 2008
+
+#: Default cache directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One reproducible paper artifact: how to run it and how to render it."""
+
+    name: str
+    description: str
+    run: Callable[[ExperimentContext], Any]
+    render: Callable[[Any], str]
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        FigureSpec(
+            "fig1",
+            "Figure 1: execution locality of address calculations",
+            experiments.fig1_execution_locality,
+            tables.format_fig1,
+        ),
+        FigureSpec(
+            "sec52",
+            "Section 5.2: per-epoch LSQ sizing",
+            experiments.sec52_epoch_sizing,
+            tables.format_sec52,
+        ),
+        FigureSpec(
+            "fig7",
+            "Figure 7: speed-up of the large-window LSQ schemes",
+            experiments.fig7_speedups,
+            lambda result: tables.format_fig7(result[0], result[1]),
+        ),
+        FigureSpec(
+            "fig8a",
+            "Figure 8a: ERT filter accuracy vs storage",
+            experiments.fig8a_filter_accuracy,
+            tables.format_fig8a,
+        ),
+        FigureSpec(
+            "fig8bc",
+            "Figure 8b/c: sensitivity to the L1 geometry",
+            experiments.fig8bc_cache_sensitivity,
+            tables.format_fig8bc,
+        ),
+        FigureSpec(
+            "fig9",
+            "Figure 9: restricted disambiguation models",
+            experiments.fig9_restricted_models,
+            tables.format_fig9,
+        ),
+        FigureSpec(
+            "fig10",
+            "Figure 10: SVW re-execution",
+            experiments.fig10_svw_reexecution,
+            tables.format_fig10,
+        ),
+        FigureSpec(
+            "fig11",
+            "Figure 11: high-locality mode vs L2 size",
+            experiments.fig11_high_locality_mode,
+            tables.format_fig11,
+        ),
+        FigureSpec(
+            "table2",
+            "Table 2: structure access counts",
+            experiments.table2_access_counts,
+            tables.format_table2,
+        ),
+        FigureSpec(
+            "sec6",
+            "Section 6: energy comparison",
+            experiments.sec6_energy_comparison,
+            tables.format_sec6,
+        ),
+    )
+}
+
+#: Figures used by ``repro bench`` unless overridden (fast but representative).
+DEFAULT_BENCH_FIGURES = ("sec52", "fig7")
+
+
+def build_context(args: argparse.Namespace, runner: Optional[ExperimentRunner]) -> ExperimentContext:
+    """Build the experiment campaign the CLI flags describe."""
+    if args.full:
+        fp_suite, int_suite = spec_fp_suite(), spec_int_suite()
+        default_instructions = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
+    else:
+        fp_suite, int_suite = quick_fp_suite(), quick_int_suite()
+        default_instructions = QUICK_INSTRUCTIONS
+    instructions = args.instructions if args.instructions is not None else default_instructions
+    return ExperimentContext(
+        fp_suite=fp_suite,
+        int_suite=int_suite,
+        instructions_per_workload=instructions,
+        seed=args.seed,
+        runner=runner,
+    )
+
+
+def build_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the runner (parallelism + cache) the CLI flags describe."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return ExperimentRunner(jobs=args.jobs, cache=cache)
+
+
+def _campaign_parameters(args: argparse.Namespace, context: ExperimentContext) -> Dict[str, Any]:
+    return {
+        "suites": [context.fp_suite.name, context.int_suite.name],
+        "instructions_per_workload": context.instructions_per_workload,
+        "seed": context.seed,
+        "jobs": args.jobs,
+        "cache_dir": None if args.no_cache else str(args.cache_dir),
+        "full": bool(args.full),
+    }
+
+
+def run_figures(figure_names: List[str], args: argparse.Namespace) -> int:
+    """Run the named figures through one shared runner/context."""
+    runner = build_runner(args)
+    context = build_context(args, runner)
+    artifact: Dict[str, Any] = {
+        "command": " ".join(figure_names),
+        "parameters": _campaign_parameters(args, context),
+        "figures": {},
+    }
+    for name in figure_names:
+        spec = FIGURES[name]
+        started = time.perf_counter()
+        executed_before, hits_before = runner.executed_jobs, runner.cache_hits
+        result = spec.run(context)
+        elapsed = time.perf_counter() - started
+        executed = runner.executed_jobs - executed_before
+        hits = runner.cache_hits - hits_before
+        if not args.quiet:
+            print(spec.render(result))
+            print(
+                f"[repro] {name}: {executed} simulated, {hits} from cache, {elapsed:.2f}s"
+            )
+            print()
+        artifact["figures"][name] = {
+            "description": spec.description,
+            "elapsed_seconds": elapsed,
+            "executed_jobs": executed,
+            "cache_hits": hits,
+            "results": to_jsonable(result),
+        }
+    artifact["executed_jobs"] = runner.executed_jobs
+    artifact["cache_hits"] = runner.cache_hits
+    # Convenience top-level alias when a single figure was requested.
+    artifact["results"] = (
+        artifact["figures"][figure_names[0]]["results"] if len(figure_names) == 1 else None
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+        if not args.quiet:
+            print(f"[repro] wrote {args.json}")
+    return 0
+
+
+def run_cache_command(args: argparse.Namespace) -> int:
+    """Implement ``repro cache list|info|clear``."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"[repro] removed {removed} cache entries from {cache.root}")
+        return 0
+    entries = list(cache.entries())
+    if args.action == "info":
+        total_bytes = sum(entry.size_bytes for entry in entries)
+        print(f"cache directory : {cache.root}")
+        print(f"entries         : {len(entries)}")
+        print(f"total size      : {total_bytes / 1024:.1f} KiB")
+        return 0
+    if not entries:
+        print(f"[repro] cache {cache.root} is empty")
+        return 0
+    print(f"{'key':<16} {'machine':<24} {'workload':<16} {'instrs':>8} {'seed':>6}")
+    for entry in entries:
+        seed = "-" if entry.seed is None else str(entry.seed)
+        print(
+            f"{entry.key[:16]:<16} {entry.machine:<24} {entry.workload:<16} "
+            f"{entry.num_instructions:>8} {seed:>6}"
+        )
+    return 0
+
+
+def run_list_command(_args: argparse.Namespace) -> int:
+    """Implement ``repro list``: every figure and named machine configuration."""
+    print("figures / tables:")
+    for name, spec in FIGURES.items():
+        print(f"  {name:<8} {spec.description}")
+    print()
+    print("machine configurations (Table 2 names):")
+    for name in PAPER_CONFIGS:
+        print(f"  {name}")
+    print()
+    print("suites: spec_fp_like, spec_int_like, spec_fp_quick, spec_int_quick")
+    return 0
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Implement ``repro bench``: time serial vs parallel execution per figure.
+
+    Caching is disabled for both timed runs so the artifact measures raw
+    simulation throughput, not cache I/O.
+    """
+    figure_names = args.figures.split(",") if args.figures else list(DEFAULT_BENCH_FIGURES)
+    unknown = [name for name in figure_names if name not in FIGURES]
+    if unknown:
+        print(f"[repro] unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    artifact: Dict[str, Any] = {
+        "artifact": "repro-bench",
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "parallel_jobs": args.jobs,
+        "instructions_per_workload": None,
+        "seed": args.seed,
+        "full": bool(args.full),
+        "figures": {},
+    }
+    print(f"{'figure':<8} {'sims':>5} {'serial':>9} {f'--jobs {args.jobs}':>10} {'speedup':>8}")
+    for name in figure_names:
+        spec = FIGURES[name]
+        timings: Dict[str, float] = {}
+        simulations = 0
+        for mode, jobs in (("serial", 1), ("parallel", args.jobs)):
+            runner = ExperimentRunner(jobs=jobs, cache=None)
+            context = build_context(args, runner)
+            artifact["instructions_per_workload"] = context.instructions_per_workload
+            # A fork-based pool inherits this process's trace memo; clear it so
+            # each timed mode pays the full trace-generation cost.
+            clear_trace_memo()
+            started = time.perf_counter()
+            spec.run(context)
+            timings[mode] = time.perf_counter() - started
+            simulations = runner.executed_jobs
+        speedup = timings["serial"] / timings["parallel"] if timings["parallel"] else 0.0
+        artifact["figures"][name] = {
+            "simulations": simulations,
+            "serial_seconds": timings["serial"],
+            "parallel_seconds": timings["parallel"],
+            "parallel_jobs": args.jobs,
+            "speedup": speedup,
+        }
+        print(
+            f"{name:<8} {simulations:>5} {timings['serial']:>8.2f}s "
+            f"{timings['parallel']:>9.2f}s {speedup:>7.2f}x"
+        )
+    Path(args.output).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(f"[repro] wrote {args.output}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_campaign_arguments(
+    parser: argparse.ArgumentParser, default_jobs: int = 1, with_cache: bool = True
+) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=default_jobs,
+        help=f"worker processes for the sweep (default: {default_jobs})",
+    )
+    if with_cache:
+        parser.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true", help="disable the on-disk result cache"
+        )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full SPEC-like suites at the paper's trace length "
+        "(default: the quick two-workload campaign)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=None,
+        help="trace length per workload (default: 8000 quick / 30000 full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help=f"campaign seed (default: {DEFAULT_SEED})"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's figures and tables, in parallel, with caching.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, spec in FIGURES.items():
+        sub = subparsers.add_parser(name, help=spec.description)
+        _add_campaign_arguments(sub)
+        sub.add_argument("--json", default=None, help="write a JSON artifact to this path")
+        sub.add_argument("--quiet", action="store_true", help="suppress the rendered tables")
+        sub.set_defaults(handler=lambda args, figure=name: run_figures([figure], args))
+
+    sub = subparsers.add_parser("all", help="run every figure and table")
+    _add_campaign_arguments(sub)
+    sub.add_argument("--json", default=None, help="write a JSON artifact to this path")
+    sub.add_argument("--quiet", action="store_true", help="suppress the rendered tables")
+    sub.set_defaults(handler=lambda args: run_figures(list(FIGURES), args))
+
+    sub = subparsers.add_parser("list", help="list figures, machines and suites")
+    sub.set_defaults(handler=run_list_command)
+
+    sub = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    sub.add_argument("action", choices=("list", "info", "clear"))
+    sub.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sub.set_defaults(handler=run_cache_command)
+
+    sub = subparsers.add_parser(
+        "bench",
+        help="time serial vs parallel execution (cache disabled) and write a JSON artifact",
+    )
+    _add_campaign_arguments(sub, default_jobs=4, with_cache=False)
+    sub.add_argument(
+        "--figures",
+        default=None,
+        help=f"comma-separated figures to time (default: {','.join(DEFAULT_BENCH_FIGURES)})",
+    )
+    sub.add_argument(
+        "--output", default="BENCH_pr1.json", help="artifact path (default: BENCH_pr1.json)"
+    )
+    sub.set_defaults(handler=run_bench_command)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a consumer that exited early (e.g. `head`).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,277 @@
+"""The parallel sweep runner.
+
+The unit of work of every paper figure is one *simulation job*: run one
+machine configuration over one workload's trace at a given length and seed.
+:class:`SimJob` captures exactly those inputs; because the machine and
+workload descriptions are frozen dataclasses of primitives, a job is
+
+* **deterministic** -- the workload generator derives its stream from
+  ``(seed, workload.name)`` alone (see
+  :func:`repro.workloads.suite.generate_member_trace`) and the timing models
+  contain no randomness, so a job's result is a pure function of the job;
+* **content-addressed** -- :func:`job_key` hashes the canonical JSON form of
+  the job, giving a stable key for the on-disk result cache; and
+* **picklable** -- jobs cross process boundaries unchanged, so a
+  ``multiprocessing`` pool can execute them in any order on any worker.
+
+:class:`ExperimentRunner` builds on those properties: it deduplicates a
+batch of jobs, satisfies what it can from a :class:`~repro.exp.cache.ResultCache`,
+fans the misses out over a process pool (or runs them inline for ``jobs=1``)
+and reassembles per-suite aggregates.  Serial and parallel execution produce
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialize import stable_hash, to_jsonable
+from repro.exp.cache import ResultCache
+from repro.isa.trace import Trace
+from repro.sim.configs import MachineConfig
+from repro.sim.simulator import Simulator, SuiteResult
+from repro.uarch.result import CoreResult
+from repro.workloads.base import WorkloadParameters
+from repro.workloads.suite import WorkloadSuite, generate_member_trace
+
+#: Bump when the meaning of a job changes (e.g. the trace generator's
+#: derivation scheme); old cache entries then stop matching automatically.
+JOB_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation: a machine, a workload, a trace length and a seed."""
+
+    machine: MachineConfig
+    workload: WorkloadParameters
+    num_instructions: int
+    seed: Optional[int] = None
+
+    def key(self) -> str:
+        """The job's stable content address (cache key)."""
+        return job_key(self)
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One named point of a declarative sweep: a machine over a suite.
+
+    The experiment definitions in :mod:`repro.sim.experiments` declare each
+    figure as a list of cases; the runner expands every case into one
+    :class:`SimJob` per suite member and executes the whole batch at once,
+    so parallelism spans the entire figure rather than a single suite.
+    """
+
+    case_id: str
+    machine: MachineConfig
+    suite_label: str
+
+
+@lru_cache(maxsize=4096)
+def job_key(job: SimJob) -> str:
+    """Return the SHA-256 content address of a job.
+
+    The key covers the complete machine configuration, the full workload
+    description, the trace length and the seed, so any change to any of them
+    yields a different key.  The machine's display ``name`` is excluded:
+    physically identical machines that different figures label differently
+    (e.g. ``FMC-Hash`` vs Figure 7's ``ELSQ Hash ERT + SQM``) share one
+    simulation and one cache entry; the runner restores the requested label
+    when it assembles suite aggregates.  Keys are stable across processes
+    and ``PYTHONHASHSEED`` values (see
+    :func:`repro.common.serialize.stable_hash`).
+    """
+    machine = to_jsonable(job.machine)
+    machine.pop("name", None)
+    return stable_hash(
+        {
+            "schema": JOB_SCHEMA_VERSION,
+            "machine": machine,
+            "workload": to_jsonable(job.workload),
+            "num_instructions": job.num_instructions,
+            "seed": job.seed,
+        }
+    )
+
+
+#: Per-process memo of generated traces, keyed by (workload hash, length,
+#: seed).  Pool workers persist across jobs, so a worker simulating several
+#: machines over the same workload generates its trace only once.
+_TRACE_MEMO: Dict[Tuple[str, int, Optional[int]], Trace] = {}
+_TRACE_MEMO_LIMIT = 128
+
+
+def clear_trace_memo() -> None:
+    """Drop this process's generated-trace memo.
+
+    Timing harnesses call this between measured runs: a fork-based worker
+    pool inherits the parent's memo, so a preceding in-process run would
+    otherwise let the pool skip trace generation and skew the comparison.
+    """
+    _TRACE_MEMO.clear()
+
+
+def ensure_unique_case_ids(cases: Sequence[SweepCase]) -> None:
+    """Raise if two sweep cases share a ``case_id`` (results would collide)."""
+    seen = set()
+    for case in cases:
+        if case.case_id in seen:
+            raise ConfigurationError(f"duplicate sweep case id {case.case_id!r}")
+        seen.add(case.case_id)
+
+
+def _trace_for(workload: WorkloadParameters, num_instructions: int, seed: Optional[int]) -> Trace:
+    memo_key = (stable_hash(workload), num_instructions, seed)
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is None:
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.clear()
+        trace = generate_member_trace(workload, num_instructions, seed=seed)
+        _TRACE_MEMO[memo_key] = trace
+    return trace
+
+
+def run_job(job: SimJob) -> CoreResult:
+    """Execute one job in this process: generate the trace and simulate it."""
+    trace = _trace_for(job.workload, job.num_instructions, job.seed)
+    return Simulator(job.machine).run_trace(trace)
+
+
+def _pool_worker(job: SimJob) -> Tuple[str, Dict[str, Any]]:
+    """Pool entry point: run a job and ship the result back as plain JSON types."""
+    return job.key(), run_job(job).to_dict()
+
+
+def _relabel(result: CoreResult, machine_name: str) -> CoreResult:
+    """Restore a machine's display name on a shared (name-agnostic) result.
+
+    Jobs are deduplicated and cached without the machine name, so the result
+    may carry the label of whichever identically-configured machine ran
+    first; the suite aggregates must report the requested name.
+    """
+    if result.config_name == machine_name:
+        return result
+    return dataclasses.replace(result, config_name=machine_name)
+
+
+def _job_metadata(job: SimJob) -> Dict[str, Any]:
+    return {
+        "machine": job.machine.name,
+        "workload": job.workload.name,
+        "num_instructions": job.num_instructions,
+        "seed": job.seed,
+    }
+
+
+class ExperimentRunner:
+    """Executes batches of simulation jobs with caching and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum number of worker processes.  ``1`` (the default) runs every
+        job inline in the calling process -- no pool, no pickling.
+    cache:
+        Optional on-disk result cache consulted before executing and updated
+        after; ``None`` disables caching.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Number of simulations actually executed by this runner.
+        self.executed_jobs = 0
+        #: Number of simulations satisfied from the cache.
+        self.cache_hits = 0
+
+    def run_batch(self, sim_jobs: Sequence[SimJob]) -> Dict[str, CoreResult]:
+        """Execute a batch of jobs and return ``{job key: result}``.
+
+        Duplicate jobs (same content address) are executed once.  Cache hits
+        never reach the pool; a warm cache therefore completes a batch with
+        zero simulations.
+        """
+        unique: Dict[str, SimJob] = {}
+        for job in sim_jobs:
+            unique.setdefault(job.key(), job)
+        results: Dict[str, CoreResult] = {}
+        misses: Dict[str, SimJob] = {}
+        for key, job in unique.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self.cache_hits += 1
+                results[key] = cached
+            else:
+                misses[key] = job
+        if misses:
+            executed = self._execute(misses)
+            self.executed_jobs += len(executed)
+            for key, result in executed.items():
+                if self.cache is not None:
+                    self.cache.put(key, result, metadata=_job_metadata(misses[key]))
+                results[key] = result
+        return results
+
+    def _execute(self, misses: Dict[str, SimJob]) -> Dict[str, CoreResult]:
+        if self.jobs > 1 and len(misses) > 1:
+            workers = min(self.jobs, len(misses))
+            with multiprocessing.Pool(processes=workers) as pool:
+                pairs = pool.map(_pool_worker, list(misses.values()))
+            return {key: CoreResult.from_dict(payload) for key, payload in pairs}
+        return {key: run_job(job) for key, job in misses.items()}
+
+    def run_suite(
+        self,
+        machine: MachineConfig,
+        suite: WorkloadSuite,
+        num_instructions: int,
+        seed: Optional[int] = None,
+    ) -> SuiteResult:
+        """Run one machine over one suite (the :class:`Simulator` equivalent)."""
+        sim_jobs = [SimJob(machine, member, num_instructions, seed) for member in suite]
+        batch = self.run_batch(sim_jobs)
+        results = {
+            job.workload.name: _relabel(batch[job.key()], machine.name) for job in sim_jobs
+        }
+        return SuiteResult(machine_name=machine.name, suite_name=suite.name, results=results)
+
+    def run_cases(
+        self,
+        cases: Sequence[SweepCase],
+        suites: Mapping[str, WorkloadSuite],
+        num_instructions: int,
+        seed: Optional[int] = None,
+    ) -> Dict[str, SuiteResult]:
+        """Run a whole declarative sweep as one batch.
+
+        Every case is expanded into one job per member of its suite and the
+        combined batch is executed at once, so the process pool stays busy
+        across the entire figure.  Returns ``{case_id: SuiteResult}``.
+        """
+        ensure_unique_case_ids(cases)
+        expanded: List[Tuple[SweepCase, WorkloadSuite, List[SimJob]]] = []
+        all_jobs: List[SimJob] = []
+        for case in cases:
+            suite = suites[case.suite_label]
+            case_jobs = [SimJob(case.machine, member, num_instructions, seed) for member in suite]
+            all_jobs.extend(case_jobs)
+            expanded.append((case, suite, case_jobs))
+        batch = self.run_batch(all_jobs)
+        output: Dict[str, SuiteResult] = {}
+        for case, suite, case_jobs in expanded:
+            results = {
+                job.workload.name: _relabel(batch[job.key()], case.machine.name)
+                for job in case_jobs
+            }
+            output[case.case_id] = SuiteResult(
+                machine_name=case.machine.name, suite_name=suite.name, results=results
+            )
+        return output

@@ -32,7 +32,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import (
-    DisambiguationModel,
     ELSQConfig,
     FMCConfig,
     MemoryHierarchyConfig,

@@ -25,12 +25,16 @@ from repro.sim.configs import (
     ooo_64,
     ooo_64_svw,
 )
-from repro.sim.experiments import ExperimentContext, quick_context
 from repro.sim.simulator import (
     DEFAULT_INSTRUCTIONS_PER_WORKLOAD,
     Simulator,
     SuiteResult,
 )
+
+# Imported last: the experiment harness builds on the simulator and on the
+# orchestration layer (repro.exp.runner), which itself needs
+# repro.sim.configs and repro.sim.simulator to be fully initialised.
+from repro.sim.experiments import ExperimentContext, quick_context
 
 __all__ = [
     "DEFAULT_INSTRUCTIONS_PER_WORKLOAD",

@@ -7,6 +7,21 @@ configuration sees identical instruction streams) and returns a plain result
 object that the benchmark scripts print in the same rows/series the paper
 reports.
 
+Every experiment is expressed in two halves:
+
+* a ``*_sweep`` builder that **declares the sweep as data** -- a list of
+  :class:`~repro.exp.runner.SweepCase` records naming which machine runs
+  over which suite -- and
+* the experiment function itself, which hands the declared cases to
+  :meth:`ExperimentContext.run_sweep` and post-processes the resulting
+  aggregates into the figure's series.
+
+Because the simulation work is fully described by the case list, the
+orchestration layer (:mod:`repro.exp`) can deduplicate, cache and fan the
+whole figure out over a process pool; with no runner attached the context
+falls back to the in-process serial path, and both paths produce
+bit-identical numbers.
+
 | Function                          | Paper artifact |
 | --------------------------------- | -------------- |
 | :func:`fig1_execution_locality`   | Figure 1       |
@@ -26,8 +41,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import DisambiguationModel, ERTKind
+from repro.common.config import DisambiguationModel
 from repro.energy.accounting import EnergyModel
+from repro.exp.runner import ExperimentRunner, SweepCase, ensure_unique_case_ids
 from repro.isa.trace import Trace
 from repro.sim.configs import (
     MachineConfig,
@@ -51,13 +67,17 @@ class ExperimentContext:
     The context pins the two suites, the trace length and the RNG seed, and
     caches generated traces so that every machine configuration within an
     experiment (and across experiments in the same campaign) replays exactly
-    the same instruction streams.
+    the same instruction streams.  Attaching an
+    :class:`~repro.exp.runner.ExperimentRunner` routes every simulation
+    through the orchestration layer (result cache, process pool); without
+    one the context runs serially in-process.
     """
 
     fp_suite: WorkloadSuite = field(default_factory=spec_fp_suite)
     int_suite: WorkloadSuite = field(default_factory=spec_int_suite)
     instructions_per_workload: int = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
     seed: Optional[int] = None
+    runner: Optional[ExperimentRunner] = None
     _trace_cache: Dict[str, List[Trace]] = field(default_factory=dict)
 
     def suites(self) -> Dict[str, WorkloadSuite]:
@@ -74,7 +94,11 @@ class ExperimentContext:
         return self._trace_cache[key]
 
     def run(self, machine: MachineConfig, suite: WorkloadSuite) -> SuiteResult:
-        """Run one machine over one suite using the cached traces."""
+        """Run one machine over one suite (through the runner when attached)."""
+        if self.runner is not None:
+            return self.runner.run_suite(
+                machine, suite, self.instructions_per_workload, seed=self.seed
+            )
         simulator = Simulator(machine)
         return simulator.run_suite(
             suite,
@@ -82,6 +106,21 @@ class ExperimentContext:
             seed=self.seed,
             traces=self.traces_for(suite),
         )
+
+    def run_sweep(self, cases: Sequence[SweepCase]) -> Dict[str, SuiteResult]:
+        """Run a declared sweep and return ``{case_id: SuiteResult}``.
+
+        With a runner attached the whole sweep is executed as one batch
+        (deduplicated, cached, parallel); otherwise the cases run serially
+        through :meth:`run`, reusing the context's trace cache.
+        """
+        ensure_unique_case_ids(cases)
+        suites = self.suites()
+        if self.runner is not None:
+            return self.runner.run_cases(
+                cases, suites, self.instructions_per_workload, seed=self.seed
+            )
+        return {case.case_id: self.run(case.machine, suites[case.suite_label]) for case in cases}
 
 
 def quick_context(instructions: int = 6_000, seed: int = 7) -> ExperimentContext:
@@ -116,18 +155,26 @@ class LocalityDistribution:
     store_p99: int
 
 
+def fig1_sweep(context: ExperimentContext) -> List[SweepCase]:
+    """Figure 1's sweep: the large-window FMC machine over both suites."""
+    machine = fmc_hash()
+    return [
+        SweepCase(case_id=label, machine=machine, suite_label=label)
+        for label in context.suites()
+    ]
+
+
 def fig1_execution_locality(context: ExperimentContext) -> Dict[str, LocalityDistribution]:
     """Reproduce Figure 1 on the large-window FMC machine."""
-    machine = fmc_hash()
+    sweep_results = context.run_sweep(fig1_sweep(context))
     output: Dict[str, LocalityDistribution] = {}
-    for label, suite in context.suites().items():
+    for label in context.suites():
+        suite_result = sweep_results[label]
         merged_loads: Dict[int, int] = {}
         merged_stores: Dict[int, int] = {}
         load_within = store_within = 0
-        load_total = store_total = 0
         p95_load = p99_load = p95_store = p99_store = 0
-        for trace in context.traces_for(suite):
-            result = Simulator(machine).run_trace(trace)
+        for result in suite_result.results.values():
             load_hist = result.histogram("decode_to_address.loads") or []
             store_hist = result.histogram("decode_to_address.stores") or []
             for lower, population in load_hist:
@@ -189,9 +236,38 @@ class EpochSizingPoint:
     slowdown_vs_unlimited: float
 
 
+#: The per-epoch sizings of Section 5.2; the last entry is the "unlimited"
+#: reference the slowdowns are measured against.
+SEC52_DEFAULT_SIZINGS: Tuple[Tuple[int, int], ...] = (
+    (16, 8),
+    (32, 16),
+    (64, 32),
+    (128, 64),
+    (1024, 1024),
+)
+
+
+def sec52_sweep(
+    sizings: Sequence[Tuple[int, int]] = SEC52_DEFAULT_SIZINGS,
+) -> List[SweepCase]:
+    """Section 5.2's sweep: one per-epoch sizing per case, SPEC-FP-like suite."""
+    return [
+        SweepCase(
+            case_id=f"{loads}L{stores}S",
+            machine=fmc_elsq(
+                epoch_load_entries=loads,
+                epoch_store_entries=stores,
+                name=f"FMC-Hash-{loads}L{stores}S",
+            ),
+            suite_label="SPEC FP",
+        )
+        for loads, stores in sizings
+    ]
+
+
 def sec52_epoch_sizing(
     context: ExperimentContext,
-    sizings: Sequence[Tuple[int, int]] = ((16, 8), (32, 16), (64, 32), (128, 64), (1024, 1024)),
+    sizings: Sequence[Tuple[int, int]] = SEC52_DEFAULT_SIZINGS,
 ) -> List[EpochSizingPoint]:
     """Reproduce the Section 5.2 sizing study on the SPEC-FP-like suite.
 
@@ -199,15 +275,11 @@ def sec52_epoch_sizing(
     (the paper sizes against an unlimited LSQ and accepts ~1% slowdown for
     64 loads / 32 stores per epoch).
     """
-    results: List[Tuple[Tuple[int, int], float]] = []
-    for load_entries, store_entries in sizings:
-        machine = fmc_elsq(
-            epoch_load_entries=load_entries,
-            epoch_store_entries=store_entries,
-            name=f"FMC-Hash-{load_entries}L{store_entries}S",
-        )
-        suite_result = context.run(machine, context.fp_suite)
-        results.append(((load_entries, store_entries), suite_result.mean_ipc))
+    sweep_results = context.run_sweep(sec52_sweep(sizings))
+    results: List[Tuple[Tuple[int, int], float]] = [
+        ((loads, stores), sweep_results[f"{loads}L{stores}S"].mean_ipc)
+        for loads, stores in sizings
+    ]
     reference_ipc = results[-1][1]
     return [
         EpochSizingPoint(
@@ -234,29 +306,46 @@ class SpeedupRow:
     ipc_by_suite: Dict[str, float]
 
 
-def fig7_speedups(context: ExperimentContext) -> Tuple[List[SpeedupRow], Dict[str, float]]:
-    """Reproduce Figure 7: return (rows, baseline IPC per suite)."""
-    machines = [
+def fig7_machines() -> List[MachineConfig]:
+    """The five large-window LSQ schemes Figure 7 compares."""
+    return [
         fmc_central("Central LSQ"),
         fmc_line(store_queue_mirror=False, name="ELSQ Line ERT"),
         fmc_line(store_queue_mirror=True, name="ELSQ Line ERT + SQM"),
         fmc_hash(store_queue_mirror=False, name="ELSQ Hash ERT"),
         fmc_hash(store_queue_mirror=True, name="ELSQ Hash ERT + SQM"),
     ]
-    baseline = ooo_64()
+
+
+def fig7_sweep(context: ExperimentContext) -> List[SweepCase]:
+    """Figure 7's sweep: the baseline and every LSQ scheme over both suites."""
+    machines = [ooo_64()] + fig7_machines()
+    return [
+        SweepCase(case_id=f"{machine.name}|{label}", machine=machine, suite_label=label)
+        for machine in machines
+        for label in context.suites()
+    ]
+
+
+def fig7_speedups(context: ExperimentContext) -> Tuple[List[SpeedupRow], Dict[str, float]]:
+    """Reproduce Figure 7: return (rows, baseline IPC per suite)."""
+    sweep_results = context.run_sweep(fig7_sweep(context))
+    baseline_name = ooo_64().name
     baseline_results = {
-        label: context.run(baseline, suite) for label, suite in context.suites().items()
+        label: sweep_results[f"{baseline_name}|{label}"] for label in context.suites()
     }
     baseline_ipc = {label: result.mean_ipc for label, result in baseline_results.items()}
     rows: List[SpeedupRow] = []
-    for machine in machines:
+    for machine in fig7_machines():
         speedups: Dict[str, float] = {}
         ipcs: Dict[str, float] = {}
-        for label, suite in context.suites().items():
-            result = context.run(machine, suite)
+        for label in context.suites():
+            result = sweep_results[f"{machine.name}|{label}"]
             speedups[label] = result.speedup_over(baseline_results[label])
             ipcs[label] = result.mean_ipc
-        rows.append(SpeedupRow(machine_name=machine.name, speedup_by_suite=speedups, ipc_by_suite=ipcs))
+        rows.append(
+            SpeedupRow(machine_name=machine.name, speedup_by_suite=speedups, ipc_by_suite=ipcs)
+        )
     return rows, baseline_ipc
 
 
@@ -274,15 +363,36 @@ class FilterAccuracyPoint:
     false_positives_per_100m: Dict[str, float]
 
 
+#: The hash-based ERT index widths swept by Figure 8a.
+FIG8A_DEFAULT_HASH_BITS: Tuple[int, ...] = (6, 8, 10, 11, 12, 14, 16)
+
+
+def fig8a_sweep(
+    context: ExperimentContext, hash_bits: Sequence[int] = FIG8A_DEFAULT_HASH_BITS
+) -> List[SweepCase]:
+    """Figure 8a's sweep: the line-based ERT plus every hash width, both suites."""
+    machines = [fmc_line()] + [
+        fmc_hash(hash_bits=bits, name=f"FMC-Hash-{bits}b") for bits in hash_bits
+    ]
+    return [
+        SweepCase(case_id=f"{machine.name}|{label}", machine=machine, suite_label=label)
+        for machine in machines
+        for label in context.suites()
+    ]
+
+
 def fig8a_filter_accuracy(
-    context: ExperimentContext, hash_bits: Sequence[int] = (6, 8, 10, 11, 12, 14, 16)
+    context: ExperimentContext, hash_bits: Sequence[int] = FIG8A_DEFAULT_HASH_BITS
 ) -> List[FilterAccuracyPoint]:
     """Reproduce Figure 8a: ERT false positives versus filter size."""
+    sweep_results = context.run_sweep(fig8a_sweep(context, hash_bits))
     points: List[FilterAccuracyPoint] = []
     line_machine = fmc_line()
     line_fp = {
-        label: context.run(line_machine, suite).mean_counter_per_100m("ert.false_positives")
-        for label, suite in context.suites().items()
+        label: sweep_results[f"{line_machine.name}|{label}"].mean_counter_per_100m(
+            "ert.false_positives"
+        )
+        for label in context.suites()
     }
     points.append(
         FilterAccuracyPoint(
@@ -295,8 +405,10 @@ def fig8a_filter_accuracy(
     for bits in hash_bits:
         machine = fmc_hash(hash_bits=bits, name=f"FMC-Hash-{bits}b")
         false_positives = {
-            label: context.run(machine, suite).mean_counter_per_100m("ert.false_positives")
-            for label, suite in context.suites().items()
+            label: sweep_results[f"{machine.name}|{label}"].mean_counter_per_100m(
+                "ert.false_positives"
+            )
+            for label in context.suites()
         }
         points.append(
             FilterAccuracyPoint(
@@ -324,14 +436,14 @@ class CacheSensitivityPoint:
     relative_performance: float
 
 
-def fig8bc_cache_sensitivity(
+def fig8bc_sweep(
     context: ExperimentContext,
     l1_sizes_kb: Sequence[int] = (32, 64),
     associativities: Sequence[int] = (1, 2, 4, 8),
-) -> List[CacheSensitivityPoint]:
-    """Reproduce Figure 8b/c: line- vs hash-based ERT under varying L1 geometry."""
-    raw: List[Tuple[str, str, int, int, float]] = []
-    for suite_label, suite in context.suites().items():
+) -> List[SweepCase]:
+    """Figure 8b/c's sweep: line vs hash ERT under every L1 geometry, both suites."""
+    cases: List[SweepCase] = []
+    for suite_label in context.suites():
         for size_kb in l1_sizes_kb:
             for associativity in associativities:
                 hierarchy = context_hierarchy(size_kb, associativity)
@@ -343,8 +455,33 @@ def fig8bc_cache_sensitivity(
                     machine = base.with_hierarchy(
                         hierarchy, name=f"{base.name}-{size_kb}KB-{associativity}w"
                     )
-                    ipc = context.run(machine, suite).mean_ipc
-                    raw.append((suite_label, f"{ert_label} / {size_kb}KB", size_kb, associativity, ipc))
+                    cases.append(
+                        SweepCase(
+                            case_id=f"{suite_label}|{ert_label}|{size_kb}KB|{associativity}w",
+                            machine=machine,
+                            suite_label=suite_label,
+                        )
+                    )
+    return cases
+
+
+def fig8bc_cache_sensitivity(
+    context: ExperimentContext,
+    l1_sizes_kb: Sequence[int] = (32, 64),
+    associativities: Sequence[int] = (1, 2, 4, 8),
+) -> List[CacheSensitivityPoint]:
+    """Reproduce Figure 8b/c: line- vs hash-based ERT under varying L1 geometry."""
+    sweep_results = context.run_sweep(fig8bc_sweep(context, l1_sizes_kb, associativities))
+    raw: List[Tuple[str, str, int, int, float]] = []
+    for suite_label in context.suites():
+        for size_kb in l1_sizes_kb:
+            for associativity in associativities:
+                for ert_label in ("CacheLine-based ERT", "Hash-based ERT"):
+                    case_id = f"{suite_label}|{ert_label}|{size_kb}KB|{associativity}w"
+                    ipc = sweep_results[case_id].mean_ipc
+                    raw.append(
+                        (suite_label, f"{ert_label} / {size_kb}KB", size_kb, associativity, ipc)
+                    )
     points: List[CacheSensitivityPoint] = []
     for suite_label in context.suites():
         suite_rows = [row for row in raw if row[0] == suite_label]
@@ -382,21 +519,38 @@ class RestrictedModelPoint:
     relative_by_suite: Dict[str, float]
 
 
+#: The disambiguation models of Figure 9, full disambiguation first.
+FIG9_MODELS: Tuple[DisambiguationModel, ...] = (
+    DisambiguationModel.FULL,
+    DisambiguationModel.RESTRICTED_SAC,
+    DisambiguationModel.RESTRICTED_LAC,
+    DisambiguationModel.RESTRICTED_SAC_LAC,
+)
+
+
+def fig9_sweep(context: ExperimentContext) -> List[SweepCase]:
+    """Figure 9's sweep: one machine per disambiguation model, both suites."""
+    return [
+        SweepCase(
+            case_id=f"{model.value}|{label}",
+            machine=fmc_elsq(disambiguation=model, name=f"FMC-Hash-{model.value}"),
+            suite_label=label,
+        )
+        for model in FIG9_MODELS
+        for label in context.suites()
+    ]
+
+
 def fig9_restricted_models(context: ExperimentContext) -> List[RestrictedModelPoint]:
     """Reproduce Figure 9: Full / RSAC / RLAC / RSAC+LAC relative performance."""
-    models = [
-        DisambiguationModel.FULL,
-        DisambiguationModel.RESTRICTED_SAC,
-        DisambiguationModel.RESTRICTED_LAC,
-        DisambiguationModel.RESTRICTED_SAC_LAC,
-    ]
-    per_model_ipc: Dict[DisambiguationModel, Dict[str, float]] = {}
-    for model in models:
-        machine = fmc_elsq(disambiguation=model, name=f"FMC-Hash-{model.value}")
-        per_model_ipc[model] = {
-            label: context.run(machine, suite).mean_ipc
-            for label, suite in context.suites().items()
+    sweep_results = context.run_sweep(fig9_sweep(context))
+    per_model_ipc: Dict[DisambiguationModel, Dict[str, float]] = {
+        model: {
+            label: sweep_results[f"{model.value}|{label}"].mean_ipc
+            for label in context.suites()
         }
+        for model in FIG9_MODELS
+    }
     reference = per_model_ipc[DisambiguationModel.FULL]
     return [
         RestrictedModelPoint(
@@ -406,7 +560,7 @@ def fig9_restricted_models(context: ExperimentContext) -> List[RestrictedModelPo
                 for label, ipc in per_model_ipc[model].items()
             },
         )
-        for model in models
+        for model in FIG9_MODELS
     ]
 
 
@@ -427,23 +581,60 @@ class SVWPoint:
     reexecutions_per_100m: float
 
 
+#: The two host machines Figure 10 studies, with their SVW variant builders.
+_FIG10_HOSTS = (
+    ("OoO-64", ooo_64, ooo_64_svw),
+    ("FMC", fmc_hash, fmc_hash_svw),
+)
+
+#: The two SVW policies of Figure 10.
+_FIG10_VARIANTS = (("CheckStores", True), ("Blind", False))
+
+
+def fig10_sweep(
+    context: ExperimentContext, ssbf_bits: Sequence[int] = (12, 10, 8)
+) -> List[SweepCase]:
+    """Figure 10's sweep: per host, the baseline plus every (SSBF size, policy)."""
+    cases: List[SweepCase] = []
+    for machine_label, baseline_factory, svw_factory in _FIG10_HOSTS:
+        baseline = baseline_factory()
+        for label in context.suites():
+            cases.append(
+                SweepCase(
+                    case_id=f"{machine_label}|baseline|{label}",
+                    machine=baseline,
+                    suite_label=label,
+                )
+            )
+        for bits in ssbf_bits:
+            for variant, check_stores in _FIG10_VARIANTS:
+                machine = svw_factory(bits, check_stores)
+                for label in context.suites():
+                    cases.append(
+                        SweepCase(
+                            case_id=f"{machine_label}|{bits}b|{variant}|{label}",
+                            machine=machine,
+                            suite_label=label,
+                        )
+                    )
+    return cases
+
+
 def fig10_svw_reexecution(
     context: ExperimentContext, ssbf_bits: Sequence[int] = (12, 10, 8)
 ) -> List[SVWPoint]:
     """Reproduce Figure 10 on both the OoO-64 core and the FMC."""
+    sweep_results = context.run_sweep(fig10_sweep(context, ssbf_bits))
     points: List[SVWPoint] = []
-    for machine_label, baseline, svw_factory in (
-        ("OoO-64", ooo_64(), lambda bits, check: ooo_64_svw(bits, check)),
-        ("FMC", fmc_hash(), lambda bits, check: fmc_hash_svw(bits, check)),
-    ):
+    for machine_label, _baseline_factory, _svw_factory in _FIG10_HOSTS:
         baseline_results = {
-            label: context.run(baseline, suite) for label, suite in context.suites().items()
+            label: sweep_results[f"{machine_label}|baseline|{label}"]
+            for label in context.suites()
         }
         for bits in ssbf_bits:
-            for variant, check_stores in (("CheckStores", True), ("Blind", False)):
-                machine = svw_factory(bits, check_stores)
-                for suite_label, suite in context.suites().items():
-                    result = context.run(machine, suite)
+            for variant, _check_stores in _FIG10_VARIANTS:
+                for suite_label in context.suites():
+                    result = sweep_results[f"{machine_label}|{bits}b|{variant}|{suite_label}"]
                     points.append(
                         SVWPoint(
                             machine_label=machine_label,
@@ -472,19 +663,33 @@ class HighLocalityPoint:
     inactivity_by_suite: Dict[str, float]
 
 
+def fig11_sweep(
+    context: ExperimentContext, l2_sizes_mb: Sequence[int] = (1, 2, 4, 8)
+) -> List[SweepCase]:
+    """Figure 11's sweep: the FMC under every L2 capacity, both suites."""
+    from repro.common.config import MemoryHierarchyConfig
+
+    cases: List[SweepCase] = []
+    for l2_mb in l2_sizes_mb:
+        hierarchy = MemoryHierarchyConfig().with_l2_size(l2_mb * 1024 * 1024)
+        machine = fmc_hash().with_hierarchy(hierarchy, name=f"FMC-Hash-{l2_mb}MB")
+        for label in context.suites():
+            cases.append(
+                SweepCase(case_id=f"{l2_mb}MB|{label}", machine=machine, suite_label=label)
+            )
+    return cases
+
+
 def fig11_high_locality_mode(
     context: ExperimentContext, l2_sizes_mb: Sequence[int] = (1, 2, 4, 8)
 ) -> List[HighLocalityPoint]:
     """Reproduce Figure 11: LL-LSQ inactivity as a function of L2 capacity."""
-    from repro.common.config import MemoryHierarchyConfig
-
+    sweep_results = context.run_sweep(fig11_sweep(context, l2_sizes_mb))
     points: List[HighLocalityPoint] = []
     for l2_mb in l2_sizes_mb:
-        hierarchy = MemoryHierarchyConfig().with_l2_size(l2_mb * 1024 * 1024)
-        machine = fmc_hash().with_hierarchy(hierarchy, name=f"FMC-Hash-{l2_mb}MB")
         inactivity: Dict[str, float] = {}
-        for label, suite in context.suites().items():
-            fraction = context.run(machine, suite).mean_high_locality_fraction()
+        for label in context.suites():
+            fraction = sweep_results[f"{l2_mb}MB|{label}"].mean_high_locality_fraction()
             inactivity[label] = fraction if fraction is not None else 0.0
         points.append(HighLocalityPoint(l2_mb=l2_mb, inactivity_by_suite=inactivity))
     return points
@@ -517,9 +722,9 @@ class Table2Row:
     speedup: float
 
 
-def table2_access_counts(context: ExperimentContext) -> List[Table2Row]:
-    """Reproduce Table 2 (access counts in millions per 100M instructions)."""
-    configurations: List[MachineConfig] = [
+def table2_machines() -> List[MachineConfig]:
+    """The six configurations of Table 2, the OoO-64 baseline first."""
+    return [
         ooo_64(),
         ooo_64_svw(10, check_stores=False, name="OoO-64-SVW"),
         fmc_line(name="FMC-Line"),
@@ -527,12 +732,27 @@ def table2_access_counts(context: ExperimentContext) -> List[Table2Row]:
         fmc_hash_svw(10, check_stores=False, name="FMC-Hash-SVW"),
         fmc_hash_rsac(name="FMC-Hash-RSAC"),
     ]
+
+
+def table2_sweep(context: ExperimentContext) -> List[SweepCase]:
+    """Table 2's sweep: every named configuration over both suites."""
+    return [
+        SweepCase(case_id=f"{machine.name}|{label}", machine=machine, suite_label=label)
+        for machine in table2_machines()
+        for label in context.suites()
+    ]
+
+
+def table2_access_counts(context: ExperimentContext) -> List[Table2Row]:
+    """Reproduce Table 2 (access counts in millions per 100M instructions)."""
+    sweep_results = context.run_sweep(table2_sweep(context))
+    configurations = table2_machines()
     baseline = configurations[0]
     rows: List[Table2Row] = []
-    for suite_label, suite in context.suites().items():
-        baseline_result = context.run(baseline, suite)
+    for suite_label in context.suites():
+        baseline_result = sweep_results[f"{baseline.name}|{suite_label}"]
         for machine in configurations:
-            result = context.run(machine, suite)
+            result = sweep_results[f"{machine.name}|{suite_label}"]
             accesses = {
                 column: result.mean_counter_per_100m_millions(counter)
                 for column, counter in TABLE2_COLUMNS.items()
@@ -563,18 +783,26 @@ class EnergyComparison:
     rsac_vs_svw_cache_accesses: Dict[str, float]
 
 
+def sec6_sweep(context: ExperimentContext) -> List[SweepCase]:
+    """Section 6's sweep: the RSAC and SVW machines over both suites."""
+    return [
+        SweepCase(case_id=f"{kind}|{label}", machine=machine, suite_label=label)
+        for kind, machine in (("rsac", fmc_hash_rsac()), ("svw", fmc_hash_svw(10, check_stores=False)))
+        for label in context.suites()
+    ]
+
+
 def sec6_energy_comparison(context: ExperimentContext) -> EnergyComparison:
     """Reproduce the Section 6 energy discussion (ERT vs L1, RSAC vs SVW)."""
+    sweep_results = context.run_sweep(sec6_sweep(context))
     model = EnergyModel()
-    rsac = fmc_hash_rsac()
-    svw = fmc_hash_svw(10, check_stores=False)
     ert_ratio = model.ert_vs_cache_read_ratio()
     ert_accesses: Dict[str, float] = {}
     round_trips: Dict[str, float] = {}
     cache_accesses: Dict[str, float] = {}
-    for label, suite in context.suites().items():
-        rsac_result = context.run(rsac, suite)
-        svw_result = context.run(svw, suite)
+    for label in context.suites():
+        rsac_result = sweep_results[f"rsac|{label}"]
+        svw_result = sweep_results[f"svw|{label}"]
 
         def _ratio(counter: str) -> float:
             denominator = svw_result.mean_counter_per_100m(counter)

@@ -11,6 +11,7 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.sim.experiments import (
     CacheSensitivityPoint,
+    EnergyComparison,
     EpochSizingPoint,
     FilterAccuracyPoint,
     HighLocalityPoint,
@@ -149,4 +150,22 @@ def format_table2(rows: Iterable[Table2Row]) -> str:
         cells += [f"{row.accesses_millions[column]:.3f}" for column in columns]
         cells += [f"{row.speedup:.3f}"]
         lines.append("  " + _format_row(cells, widths))
+    return "\n".join(lines)
+
+
+def format_sec6(comparison: EnergyComparison) -> str:
+    """Render the Section 6 energy comparison."""
+    lines = ["Section 6: energy comparison"]
+    lines.append(
+        f"  ERT read energy / L1 read energy: {comparison.ert_vs_l1_read_ratio:.3f}"
+    )
+    for label in comparison.rsac_vs_svw_ert_accesses:
+        lines.append(
+            "  {}: RSAC/SVW ERT accesses {:.2f}, round trips {:.2f}, cache accesses {:.2f}".format(
+                label,
+                comparison.rsac_vs_svw_ert_accesses[label],
+                comparison.rsac_vs_svw_round_trips[label],
+                comparison.rsac_vs_svw_cache_accesses[label],
+            )
+        )
     return "\n".join(lines)

@@ -31,7 +31,7 @@ from repro.common.stats import StatsRegistry
 from repro.core.conventional import ConventionalLSQ
 from repro.core.policy import LSQPolicy
 from repro.core.records import Locality, LoadRecord, StoreRecord
-from repro.isa.instruction import InstrClass, Instruction
+from repro.isa.instruction import InstrClass
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.resources import BandwidthAllocator, InOrderTracker, OccupancyWindow

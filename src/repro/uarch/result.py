@@ -9,7 +9,7 @@ per-100M-instruction scaling) used throughout the experiment harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.stats import StatsSnapshot
@@ -66,3 +66,45 @@ class CoreResult:
         if baseline.ipc == 0:
             raise SimulationError("baseline IPC is zero; speed-up undefined")
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lower this result to plain JSON types (the result-cache format).
+
+        The representation round-trips exactly: counters and histogram bins
+        are integers, and the float fields survive JSON because Python's
+        ``repr``-based float serialization is lossless.
+        """
+        return {
+            "trace_name": self.trace_name,
+            "config_name": self.config_name,
+            "cycles": self.cycles,
+            "committed_instructions": self.committed_instructions,
+            "counters": dict(self.stats.counters),
+            "histograms": {
+                name: [[lower, population] for lower, population in series]
+                for name, series in self.stats.histograms.items()
+            },
+            "high_locality_fraction": self.high_locality_fraction,
+            "mean_allocated_epochs": self.mean_allocated_epochs,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CoreResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a cache entry)."""
+        return cls(
+            trace_name=data["trace_name"],
+            config_name=data["config_name"],
+            cycles=int(data["cycles"]),
+            committed_instructions=int(data["committed_instructions"]),
+            stats=StatsSnapshot(
+                counters={name: int(value) for name, value in data.get("counters", {}).items()},
+                histograms={
+                    name: [(int(lower), int(population)) for lower, population in series]
+                    for name, series in data.get("histograms", {}).items()
+                },
+            ),
+            high_locality_fraction=data.get("high_locality_fraction"),
+            mean_allocated_epochs=data.get("mean_allocated_epochs"),
+            extra={name: float(value) for name, value in data.get("extra", {}).items()},
+        )

@@ -33,7 +33,7 @@ addresses, never cycle counts.  All timing emerges from the processor models.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.common.errors import WorkloadError

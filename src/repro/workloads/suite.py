@@ -55,11 +55,10 @@ class WorkloadSuite:
         self, instructions_per_member: int, seed: Optional[int] = None
     ) -> List[Trace]:
         """Generate one trace per member, each with the given instruction count."""
-        traces = []
-        for member in self.members:
-            generator = SyntheticWorkload(member, seed=seed)
-            traces.append(generator.generate(instructions_per_member))
-        return traces
+        return [
+            generate_member_trace(member, instructions_per_member, seed=seed)
+            for member in self.members
+        ]
 
     def subset(self, names: Sequence[str], suite_name: Optional[str] = None) -> "WorkloadSuite":
         """Return a new suite containing only the named members, in the given order."""
@@ -67,6 +66,26 @@ class WorkloadSuite:
         return WorkloadSuite(
             name=suite_name if suite_name is not None else f"{self.name}-subset", members=members
         )
+
+
+def generate_member_trace(
+    parameters: WorkloadParameters, num_instructions: int, seed: Optional[int] = None
+) -> Trace:
+    """Generate one member's trace, independent of every other member.
+
+    This is the *seed-isolation contract* the parallel sweep runner relies
+    on: the generator internally derives its stream from ``(seed,
+    parameters.name)``, so a member's trace depends only on its own
+    parameters, the campaign seed and the length -- never on which other
+    members are generated, or in which order, or in which process.  A worker
+    process regenerating a single member therefore produces a trace
+    bit-identical to the one :meth:`WorkloadSuite.generate_traces` builds for
+    the whole suite.
+
+    The function is a picklable module-level entry point so multiprocessing
+    workers can call it directly.
+    """
+    return SyntheticWorkload(parameters, seed=seed).generate(num_instructions)
 
 
 def spec_fp_suite() -> WorkloadSuite:

@@ -1,0 +1,102 @@
+"""Smoke tests for the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_figure_cold_then_warm_cache(tmp_path: Path) -> None:
+    """A warm second invocation must complete via cache with zero simulations."""
+    base = [
+        "sec52",
+        "--jobs",
+        "2",
+        "--instructions",
+        "1200",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+    ]
+    cold = run_cli(base + ["--json", str(tmp_path / "cold.json")], cwd=tmp_path)
+    assert cold.returncode == 0, cold.stderr
+    assert "Section 5.2" in cold.stdout
+    cold_artifact = json.loads((tmp_path / "cold.json").read_text())
+    assert cold_artifact["executed_jobs"] > 0
+    assert cold_artifact["cache_hits"] == 0
+
+    warm = run_cli(base + ["--json", str(tmp_path / "warm.json")], cwd=tmp_path)
+    assert warm.returncode == 0, warm.stderr
+    warm_artifact = json.loads((tmp_path / "warm.json").read_text())
+    assert warm_artifact["executed_jobs"] == 0
+    assert warm_artifact["cache_hits"] == cold_artifact["executed_jobs"]
+    assert warm_artifact["results"] == cold_artifact["results"]
+
+
+def test_cache_inspection_commands(tmp_path: Path) -> None:
+    cache_dir = str(tmp_path / "cache")
+    run_cli(
+        ["sec52", "--instructions", "1200", "--cache-dir", cache_dir, "--quiet"],
+        cwd=tmp_path,
+    )
+    listing = run_cli(["cache", "list", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert listing.returncode == 0
+    assert "swim_like" in listing.stdout
+
+    info = run_cli(["cache", "info", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert info.returncode == 0
+    assert "entries" in info.stdout
+
+    cleared = run_cli(["cache", "clear", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert cleared.returncode == 0
+    empty = run_cli(["cache", "list", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert "is empty" in empty.stdout
+
+
+def test_list_command(tmp_path: Path) -> None:
+    result = run_cli(["list"], cwd=tmp_path)
+    assert result.returncode == 0
+    for name in ("fig1", "fig7", "table2", "OoO-64", "FMC-Hash"):
+        assert name in result.stdout
+
+
+def test_bench_writes_timing_artifact(tmp_path: Path) -> None:
+    output = tmp_path / "BENCH_test.json"
+    result = run_cli(
+        [
+            "bench",
+            "--figures",
+            "sec52",
+            "--jobs",
+            "2",
+            "--instructions",
+            "800",
+            "--output",
+            str(output),
+        ],
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    artifact = json.loads(output.read_text())
+    figure = artifact["figures"]["sec52"]
+    assert figure["simulations"] > 0
+    assert figure["serial_seconds"] > 0
+    assert figure["parallel_seconds"] > 0
+    assert artifact["parallel_jobs"] == 2

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.config import SVWConfig
 from repro.common.stats import StatsRegistry

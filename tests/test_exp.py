@@ -1,0 +1,272 @@
+"""Tests for the experiment orchestration layer (repro.exp).
+
+Covers the ISSUE's acceptance surface: configuration serialization round
+trips, content-address (cache key) stability across processes and hash
+seeds, cache hit/miss behaviour, and bit-identical results between serial
+and parallel execution of the same sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.common.serialize import canonical_json, from_jsonable, stable_hash, to_jsonable
+from repro.exp.cache import ResultCache
+from repro.exp.runner import ExperimentRunner, SimJob, SweepCase, job_key, run_job
+from repro.sim.configs import PAPER_CONFIGS, MachineConfig, fmc_hash, ooo_64
+from repro.sim.experiments import ExperimentContext, sec52_epoch_sizing
+from repro.workloads.base import WorkloadParameters
+from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+#: Short traces keep the orchestration tests fast; determinism does not
+#: depend on the length.
+TEST_INSTRUCTIONS = 1_000
+TEST_SEED = 7
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+# ----------------------------------------------------------------------
+# Serialization round trips
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config_name", sorted(PAPER_CONFIGS))
+def test_machine_config_roundtrip(config_name: str) -> None:
+    machine = PAPER_CONFIGS[config_name]()
+    lowered = json.loads(json.dumps(to_jsonable(machine)))
+    rebuilt = from_jsonable(MachineConfig, lowered)
+    assert rebuilt == machine
+
+
+def test_workload_parameters_roundtrip() -> None:
+    for member in tuple(quick_fp_suite()) + tuple(quick_int_suite()):
+        lowered = json.loads(json.dumps(to_jsonable(member)))
+        rebuilt = from_jsonable(WorkloadParameters, lowered)
+        assert rebuilt == member
+
+
+def test_core_result_roundtrip() -> None:
+    member = quick_fp_suite().members[0]
+    result = run_job(SimJob(ooo_64(), member, TEST_INSTRUCTIONS, TEST_SEED))
+    lowered = json.loads(json.dumps(result.to_dict()))
+    rebuilt = type(result).from_dict(lowered)
+    assert rebuilt == result
+    assert rebuilt.ipc == result.ipc
+    assert dict(rebuilt.stats.counters) == dict(result.stats.counters)
+    assert dict(rebuilt.stats.histograms) == dict(result.stats.histograms)
+
+
+# ----------------------------------------------------------------------
+# Content addresses (cache keys)
+# ----------------------------------------------------------------------
+
+
+def test_job_key_covers_every_input() -> None:
+    member = quick_fp_suite().members[0]
+    base = SimJob(fmc_hash(), member, TEST_INSTRUCTIONS, TEST_SEED)
+    assert job_key(base) == job_key(SimJob(fmc_hash(), member, TEST_INSTRUCTIONS, TEST_SEED))
+    variants = [
+        SimJob(fmc_hash(hash_bits=12), member, TEST_INSTRUCTIONS, TEST_SEED),
+        SimJob(fmc_hash(), quick_fp_suite().members[1], TEST_INSTRUCTIONS, TEST_SEED),
+        SimJob(fmc_hash(), member, TEST_INSTRUCTIONS + 1, TEST_SEED),
+        SimJob(fmc_hash(), member, TEST_INSTRUCTIONS, TEST_SEED + 1),
+        SimJob(fmc_hash(), member, TEST_INSTRUCTIONS, None),
+    ]
+    keys = {job_key(variant) for variant in variants}
+    assert len(keys) == len(variants)
+    assert job_key(base) not in keys
+    # The display name is NOT part of the physics: renaming must reuse the key.
+    assert job_key(SimJob(fmc_hash(name="renamed"), member, TEST_INSTRUCTIONS, TEST_SEED)) == (
+        job_key(base)
+    )
+
+
+def test_identically_configured_machines_share_simulations(tmp_path: Path) -> None:
+    """Renamed-but-identical machines dedupe, and aggregates keep their labels."""
+    suite = one_member_suite()
+    runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    first = runner.run_suite(fmc_hash(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    second = runner.run_suite(
+        fmc_hash(name="ELSQ Hash ERT + SQM"), suite, TEST_INSTRUCTIONS, seed=TEST_SEED
+    )
+    assert runner.executed_jobs == 1
+    assert runner.cache_hits == 1
+    assert first.machine_name == "FMC-Hash"
+    assert second.machine_name == "ELSQ Hash ERT + SQM"
+    assert second.results["swim_like"].config_name == "ELSQ Hash ERT + SQM"
+    assert second.results["swim_like"].cycles == first.results["swim_like"].cycles
+    assert dict(second.results["swim_like"].stats.counters) == dict(
+        first.results["swim_like"].stats.counters
+    )
+
+
+def test_config_hash_stable_across_processes() -> None:
+    """The content address must not depend on the process or the hash seed."""
+    member = quick_fp_suite().members[0]
+    expected = SimJob(fmc_hash(), member, TEST_INSTRUCTIONS, TEST_SEED).key()
+    script = (
+        "from repro.exp.runner import SimJob;"
+        "from repro.sim.configs import fmc_hash;"
+        "from repro.workloads.suite import quick_fp_suite;"
+        f"job = SimJob(fmc_hash(), quick_fp_suite().members[0], {TEST_INSTRUCTIONS}, {TEST_SEED});"
+        "print(job.key())"
+    )
+    for hash_seed in ("0", "12345"):
+        env = subprocess_env()
+        env["PYTHONHASHSEED"] = hash_seed
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == expected
+
+
+def test_canonical_json_is_sorted_and_compact() -> None:
+    machine = ooo_64()
+    text = canonical_json(machine)
+    assert ": " not in text and ", " not in text
+    assert json.loads(text) == to_jsonable(machine)
+    assert stable_hash(machine) == stable_hash(ooo_64())
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+# ----------------------------------------------------------------------
+
+
+def one_member_suite():
+    return quick_fp_suite().subset(["swim_like"], suite_name="one")
+
+
+def test_cache_miss_then_hit(tmp_path: Path) -> None:
+    suite = one_member_suite()
+    cold_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    cold = cold_runner.run_suite(fmc_hash(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    assert cold_runner.executed_jobs == 1
+    assert cold_runner.cache_hits == 0
+
+    warm_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    warm = warm_runner.run_suite(fmc_hash(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    assert warm_runner.executed_jobs == 0
+    assert warm_runner.cache_hits == 1
+    assert warm == cold
+
+    entries = list(ResultCache(tmp_path / "cache").entries())
+    assert len(entries) == 1
+    assert entries[0].machine == "FMC-Hash"
+    assert entries[0].workload == "swim_like"
+    assert entries[0].num_instructions == TEST_INSTRUCTIONS
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path: Path) -> None:
+    cache = ResultCache(tmp_path / "cache")
+    suite = one_member_suite()
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    runner.run_suite(ooo_64(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    (entry,) = cache.entries()
+    entry.path.write_text("{ not json")
+    rerun = ExperimentRunner(jobs=1, cache=cache)
+    rerun.run_suite(ooo_64(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    assert rerun.executed_jobs == 1
+    assert rerun.cache_hits == 0
+    # The corrupt entry was overwritten with a readable one.
+    assert cache.get(entry.key) is not None
+
+    # Valid JSON with semantically impossible values is also a miss, not a crash.
+    payload = json.loads(entry.path.read_text())
+    payload["result"]["cycles"] = 0
+    entry.path.write_text(json.dumps(payload))
+    assert cache.get(entry.key) is None
+    again = ExperimentRunner(jobs=1, cache=cache)
+    again.run_suite(ooo_64(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+    assert again.executed_jobs == 1
+
+
+def test_cache_clear(tmp_path: Path) -> None:
+    cache = ResultCache(tmp_path / "cache")
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    runner.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=TEST_SEED)
+    assert cache.clear() == 1
+    assert list(cache.entries()) == []
+
+
+def test_runner_dedupes_identical_jobs() -> None:
+    member = quick_fp_suite().members[0]
+    job = SimJob(ooo_64(), member, TEST_INSTRUCTIONS, TEST_SEED)
+    runner = ExperimentRunner(jobs=1)
+    batch = runner.run_batch([job, job, job])
+    assert runner.executed_jobs == 1
+    assert set(batch) == {job.key()}
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial
+# ----------------------------------------------------------------------
+
+
+def test_parallel_execution_is_bit_identical_to_serial() -> None:
+    """The same sweep must produce identical results serially and in a pool."""
+    suite = quick_fp_suite()
+    machines = [ooo_64(), fmc_hash()]
+    serial_context = ExperimentContext(
+        fp_suite=suite,
+        int_suite=quick_int_suite(),
+        instructions_per_workload=TEST_INSTRUCTIONS,
+        seed=TEST_SEED,
+    )
+    parallel_runner = ExperimentRunner(jobs=2)
+    for machine in machines:
+        serial = serial_context.run(machine, suite)
+        parallel = parallel_runner.run_suite(machine, suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
+        assert parallel == serial  # CoreResult equality covers cycles, stats, extras
+    assert parallel_runner.executed_jobs == len(machines) * len(suite)
+
+
+def test_run_sweep_matches_between_serial_and_parallel_contexts() -> None:
+    """A whole declared figure produces identical series through both paths."""
+    sizings = ((16, 8), (64, 32), (1024, 1024))
+    serial_context = ExperimentContext(
+        fp_suite=quick_fp_suite(),
+        int_suite=quick_int_suite(),
+        instructions_per_workload=TEST_INSTRUCTIONS,
+        seed=TEST_SEED,
+    )
+    parallel_context = ExperimentContext(
+        fp_suite=quick_fp_suite(),
+        int_suite=quick_int_suite(),
+        instructions_per_workload=TEST_INSTRUCTIONS,
+        seed=TEST_SEED,
+        runner=ExperimentRunner(jobs=2),
+    )
+    serial_points = sec52_epoch_sizing(serial_context, sizings=sizings)
+    parallel_points = sec52_epoch_sizing(parallel_context, sizings=sizings)
+    assert parallel_points == serial_points
+
+
+def test_run_cases_rejects_duplicate_case_ids() -> None:
+    from repro.common.errors import ConfigurationError
+
+    runner = ExperimentRunner(jobs=1)
+    cases = [
+        SweepCase("dup", ooo_64(), "SPEC FP"),
+        SweepCase("dup", fmc_hash(), "SPEC FP"),
+    ]
+    with pytest.raises(ConfigurationError):
+        runner.run_cases(cases, {"SPEC FP": one_member_suite()}, TEST_INSTRUCTIONS, TEST_SEED)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import WorkloadError
-from repro.isa.instruction import InstrClass
 from repro.workloads.base import MemoryRegion, SyntheticWorkload, WorkloadParameters
 from repro.workloads.spec_fp import SPEC_FP_KERNELS, equake_like, fp_kernel, swim_like
 from repro.workloads.spec_int import SPEC_INT_KERNELS, int_kernel, mcf_like
