@@ -16,11 +16,24 @@ metadata is declared here so the offline path keeps working with old
 setuptools releases that predate PEP 621.
 """
 
+import re
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Parse the version out of src/repro/_version.py (the single source)."""
+    text = (Path(__file__).parent / "src" / "repro" / "_version.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
 
 setup(
     name="repro-elsq",
-    version="0.1.0",
+    version=read_version(),
     description=(
         "Reproduction of 'A Two-Level Load/Store Queue Based on Execution "
         "Locality' (Pericas et al., ISCA 2008)"

@@ -82,7 +82,11 @@ from repro.uarch import CoreResult, OutOfOrderCore
 
 # Imported after repro.sim: the orchestration layer builds on the simulation
 # driver, and repro.sim.experiments itself imports repro.exp.runner.
-from repro.exp import ExperimentRunner, ResultCache, SimJob, SweepCase
+# The service layer (repro.service) is deliberately NOT imported here: every
+# figure run and every spawned pool worker imports this package, and only
+# `repro serve` / `repro submit` need the HTTP stack -- import repro.service
+# directly for the server and client classes.
+from repro.exp import ExperimentRunner, JobRequest, ResultCache, SimJob, SweepCase
 from repro.workloads import (
     SyntheticWorkload,
     WorkloadParameters,
@@ -94,7 +98,7 @@ from repro.workloads import (
     suite_by_name,
 )
 
-__version__ = "0.1.0"
+from repro._version import __version__ as __version__
 
 __all__ = [
     "CacheConfig",
@@ -117,6 +121,7 @@ __all__ = [
     "InstrClass",
     "Instruction",
     "InterconnectConfig",
+    "JobRequest",
     "LineBasedERT",
     "LoadQueueScheme",
     "MachineConfig",

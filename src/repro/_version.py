@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+``repro.__version__``, ``setup.py`` and the ``repro version`` CLI command all
+read this value; nothing else in the repo states a version number.  The file
+is parsed textually by ``setup.py`` (no import of :mod:`repro` at build time),
+so it must keep the simple ``__version__ = "X.Y.Z"`` form.
+"""
+
+__version__ = "0.2.0"

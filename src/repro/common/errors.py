@@ -14,6 +14,9 @@ the request:
 * :class:`SimulationError` -- an internal inconsistency detected while a
   simulation was running (these indicate bugs or mis-use of the low level
   structures rather than bad user input).
+* :class:`ServiceError` -- the simulation service (:mod:`repro.service`)
+  rejected or failed a request; :class:`ServiceOverloadedError` is the
+  admission-control subcase (HTTP 429, the job queue is full).
 """
 
 from __future__ import annotations
@@ -37,3 +40,11 @@ class TraceError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """An invariant of the timing model or a hardware structure was violated."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The simulation service rejected or failed a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a submission because the job queue is full."""

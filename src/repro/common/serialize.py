@@ -24,7 +24,7 @@ import enum
 import hashlib
 import json
 import typing
-from typing import Any, Mapping, Type, TypeVar, Union
+from typing import Any, Dict, Mapping, Type, TypeVar, Union
 
 from repro.common.errors import ConfigurationError
 
@@ -123,6 +123,49 @@ def _build_dataclass(cls: Type[_T], data: Any) -> _T:
         if field.name in data:
             kwargs[field.name] = _build(hints[field.name], data[field.name])
     return cls(**kwargs)
+
+
+#: Version of the service wire format.  Every HTTP body exchanged with
+#: :mod:`repro.service` is wrapped in an envelope carrying this number, so a
+#: client and server disagreeing about the schema fail loudly instead of
+#: misinterpreting payloads.  Bump on any incompatible payload change.
+WIRE_SCHEMA_VERSION = 1
+
+
+def wire_envelope(kind: str, payload: Any) -> Dict[str, Any]:
+    """Wrap ``payload`` in a versioned wire envelope.
+
+    The envelope is the unit every service endpoint sends and receives:
+    ``{"wire_schema": N, "kind": "<message type>", "payload": <JSON>}``.
+    ``payload`` may be any :func:`to_jsonable`-serialisable object.
+    """
+    return {
+        "wire_schema": WIRE_SCHEMA_VERSION,
+        "kind": kind,
+        "payload": to_jsonable(payload),
+    }
+
+
+def open_envelope(data: Any, kind: str) -> Any:
+    """Validate a wire envelope and return its payload.
+
+    Raises :class:`ConfigurationError` when ``data`` is not an envelope, its
+    schema version does not match or its kind is not the expected one.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"expected a wire envelope mapping, got {type(data).__name__}"
+        )
+    schema = data.get("wire_schema")
+    if schema != WIRE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported wire schema {schema!r} (this build speaks {WIRE_SCHEMA_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise ConfigurationError(f"expected envelope kind {kind!r}, got {data.get('kind')!r}")
+    if "payload" not in data:
+        raise ConfigurationError("wire envelope is missing its payload")
+    return data["payload"]
 
 
 def canonical_json(obj: Any) -> str:

@@ -13,14 +13,20 @@ This package turns the library into a reproducible experiment platform:
 * :mod:`repro.exp.cli` -- the ``python -m repro`` command line interface
   that reproduces any paper figure/table, lists cached results and emits
   machine-readable artifacts.
+* :mod:`repro.exp.request` -- :class:`~repro.exp.request.JobRequest`, the
+  content-addressed wire form of a submission (named figure campaign or
+  explicit job batch) that the service coalesces on.
 """
 
-from repro.exp.cache import CacheEntry, ResultCache
+from repro.exp.cache import CacheEntry, PruneReport, ResultCache
+from repro.exp.request import JobRequest
 from repro.exp.runner import ExperimentRunner, SimJob, SweepCase, job_key, run_job
 
 __all__ = [
     "CacheEntry",
     "ExperimentRunner",
+    "JobRequest",
+    "PruneReport",
     "ResultCache",
     "SimJob",
     "SweepCase",

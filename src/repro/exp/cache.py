@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -27,6 +28,10 @@ from repro.uarch.result import CoreResult
 
 #: Bump when the on-disk entry layout changes; mismatched entries are misses.
 CACHE_SCHEMA_VERSION = 1
+
+#: A ``.tmp`` file older than this is an orphan of a killed writer and safe
+#: for :meth:`ResultCache.clear` to sweep; younger ones may be live writes.
+ORPHAN_TEMP_AGE_SECONDS = 3600.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,16 @@ class CacheEntry:
     seed: Optional[int]
     created: float
     size_bytes: int
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of a :meth:`ResultCache.prune` pass."""
+
+    removed: int
+    freed_bytes: int
+    remaining: int
+    remaining_bytes: int
 
 
 class ResultCache:
@@ -84,9 +99,23 @@ class ResultCache:
             "metadata": metadata or {},
             "result": result.to_dict(),
         }
-        temporary = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-        os.replace(temporary, path)
+        # The temporary must be unique per writer: the service's worker
+        # threads can put() the same key concurrently in one process, so the
+        # pid alone would collide (one thread renaming another's torn file).
+        temporary = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            os.replace(temporary, path)
+        except BaseException:
+            # Never leave a torn temporary behind: a reader can only ever see
+            # the complete old entry or the complete new one.
+            try:
+                temporary.unlink()
+            except OSError:
+                pass
+            raise
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -98,6 +127,9 @@ class ResultCache:
         for path in sorted(self.root.glob("??/*.json")):
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
+                # Inside the try: a concurrent clear()/prune() may unlink the
+                # entry between the read and the stat.
+                size_bytes = path.stat().st_size
             except (OSError, json.JSONDecodeError):
                 continue
             if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
@@ -112,7 +144,7 @@ class ResultCache:
                     num_instructions=metadata.get("num_instructions", 0),
                     seed=metadata.get("seed"),
                     created=payload.get("created", 0.0),
-                    size_bytes=path.stat().st_size,
+                    size_bytes=size_bytes,
                 )
             )
         records.sort(key=lambda entry: entry.created, reverse=True)
@@ -127,4 +159,56 @@ class ResultCache:
                 removed += 1
             except OSError:
                 continue
+        # Also sweep temporaries orphaned by killed writers (not counted).
+        # Only stale ones: a concurrent put() may be between its write and
+        # rename right now, and unlinking its live temp would fail that job.
+        cutoff = time.time() - ORPHAN_TEMP_AGE_SECONDS
+        for path in self.root.glob("??/.*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                continue
         return removed
+
+    def prune(
+        self,
+        older_than_seconds: Optional[float] = None,
+        max_size_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> PruneReport:
+        """Evict entries by age and/or total size so long-lived caches stay bounded.
+
+        Entries older than ``older_than_seconds`` (measured against ``now``,
+        default wall clock) are always removed; afterwards, if the surviving
+        entries still exceed ``max_size_bytes``, the oldest are evicted first
+        until the cache fits.  Content addressing makes eviction always safe:
+        a pruned entry is simply re-simulated on its next request.
+        """
+        now = time.time() if now is None else now
+        survivors = sorted(self.entries(), key=lambda entry: entry.created)
+        doomed = []
+        if older_than_seconds is not None:
+            doomed = [e for e in survivors if now - e.created >= older_than_seconds]
+            survivors = [e for e in survivors if now - e.created < older_than_seconds]
+        if max_size_bytes is not None:
+            total = sum(entry.size_bytes for entry in survivors)
+            while survivors and total > max_size_bytes:
+                oldest = survivors.pop(0)
+                total -= oldest.size_bytes
+                doomed.append(oldest)
+        freed = 0
+        removed = 0
+        for entry in doomed:
+            try:
+                entry.path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += entry.size_bytes
+        return PruneReport(
+            removed=removed,
+            freed_bytes=freed,
+            remaining=len(survivors),
+            remaining_bytes=sum(entry.size_bytes for entry in survivors),
+        )

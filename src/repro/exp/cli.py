@@ -25,29 +25,28 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from repro._version import __version__
 from repro.common.errors import ReproError
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
 from repro.exp.runner import ExperimentRunner, clear_trace_memo
-from repro.sim import experiments, tables
+from repro.sim import tables
 from repro.sim.configs import PAPER_CONFIGS
-from repro.sim.experiments import ExperimentContext
-from repro.sim.simulator import DEFAULT_INSTRUCTIONS_PER_WORKLOAD
-from repro.workloads.suite import (
-    quick_fp_suite,
-    quick_int_suite,
-    spec_fp_suite,
-    spec_int_suite,
+from repro.sim.experiments import (
+    DEFAULT_SEED,
+    EXPERIMENTS,
+    ExperimentContext,
+    campaign_context,
 )
-
-#: Trace length of the default (quick) campaign; matches benchmarks/conftest.py.
-QUICK_INSTRUCTIONS = 8_000
-
-#: Seed of the default campaign (the paper's publication year).
-DEFAULT_SEED = 2008
 
 #: Default cache directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default service port/URL.  Restated here (rather than imported from
+#: repro.service.server) so figure commands never import the HTTP stack; a
+#: test asserts it matches repro.service.server.DEFAULT_PORT.
+DEFAULT_SERVICE_PORT = 8077
+DEFAULT_SERVICE_URL = f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}"
 
 
 @dataclass(frozen=True)
@@ -60,70 +59,33 @@ class FigureSpec:
     render: Callable[[Any], str]
 
 
+#: How each registered experiment's result renders as a paper-layout table.
+_RENDERERS: Dict[str, Callable[[Any], str]] = {
+    "fig1": tables.format_fig1,
+    "sec52": tables.format_sec52,
+    "fig7": lambda result: tables.format_fig7(result[0], result[1]),
+    "fig8a": tables.format_fig8a,
+    "fig8bc": tables.format_fig8bc,
+    "fig9": tables.format_fig9,
+    "fig10": tables.format_fig10,
+    "fig11": tables.format_fig11,
+    "table2": tables.format_table2,
+    "sec6": tables.format_sec6,
+}
+
+def _json_render(result: Any) -> str:
+    """Fallback renderer: pretty-printed JSON of the result series."""
+    return json.dumps(to_jsonable(result), indent=2, sort_keys=True)
+
+
+#: The CLI's figure table is the experiment registry plus a renderer each, so
+#: the set of names the CLI accepts is exactly what the service accepts.  An
+#: experiment registered without a table renderer falls back to JSON output
+#: rather than breaking the whole CLI at import time; a test asserts the two
+#: maps actually stay in sync.
 FIGURES: Dict[str, FigureSpec] = {
-    spec.name: spec
-    for spec in (
-        FigureSpec(
-            "fig1",
-            "Figure 1: execution locality of address calculations",
-            experiments.fig1_execution_locality,
-            tables.format_fig1,
-        ),
-        FigureSpec(
-            "sec52",
-            "Section 5.2: per-epoch LSQ sizing",
-            experiments.sec52_epoch_sizing,
-            tables.format_sec52,
-        ),
-        FigureSpec(
-            "fig7",
-            "Figure 7: speed-up of the large-window LSQ schemes",
-            experiments.fig7_speedups,
-            lambda result: tables.format_fig7(result[0], result[1]),
-        ),
-        FigureSpec(
-            "fig8a",
-            "Figure 8a: ERT filter accuracy vs storage",
-            experiments.fig8a_filter_accuracy,
-            tables.format_fig8a,
-        ),
-        FigureSpec(
-            "fig8bc",
-            "Figure 8b/c: sensitivity to the L1 geometry",
-            experiments.fig8bc_cache_sensitivity,
-            tables.format_fig8bc,
-        ),
-        FigureSpec(
-            "fig9",
-            "Figure 9: restricted disambiguation models",
-            experiments.fig9_restricted_models,
-            tables.format_fig9,
-        ),
-        FigureSpec(
-            "fig10",
-            "Figure 10: SVW re-execution",
-            experiments.fig10_svw_reexecution,
-            tables.format_fig10,
-        ),
-        FigureSpec(
-            "fig11",
-            "Figure 11: high-locality mode vs L2 size",
-            experiments.fig11_high_locality_mode,
-            tables.format_fig11,
-        ),
-        FigureSpec(
-            "table2",
-            "Table 2: structure access counts",
-            experiments.table2_access_counts,
-            tables.format_table2,
-        ),
-        FigureSpec(
-            "sec6",
-            "Section 6: energy comparison",
-            experiments.sec6_energy_comparison,
-            tables.format_sec6,
-        ),
-    )
+    name: FigureSpec(name, spec.description, spec.run, _RENDERERS.get(name, _json_render))
+    for name, spec in EXPERIMENTS.items()
 }
 
 #: Figures used by ``repro bench`` unless overridden (fast but representative).
@@ -132,19 +94,8 @@ DEFAULT_BENCH_FIGURES = ("sec52", "fig7")
 
 def build_context(args: argparse.Namespace, runner: Optional[ExperimentRunner]) -> ExperimentContext:
     """Build the experiment campaign the CLI flags describe."""
-    if args.full:
-        fp_suite, int_suite = spec_fp_suite(), spec_int_suite()
-        default_instructions = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
-    else:
-        fp_suite, int_suite = quick_fp_suite(), quick_int_suite()
-        default_instructions = QUICK_INSTRUCTIONS
-    instructions = args.instructions if args.instructions is not None else default_instructions
-    return ExperimentContext(
-        fp_suite=fp_suite,
-        int_suite=int_suite,
-        instructions_per_workload=instructions,
-        seed=args.seed,
-        runner=runner,
+    return campaign_context(
+        full=args.full, instructions=args.instructions, seed=args.seed, runner=runner
     )
 
 
@@ -209,9 +160,28 @@ def run_figures(figure_names: List[str], args: argparse.Namespace) -> int:
 
 
 def run_cache_command(args: argparse.Namespace) -> int:
-    """Implement ``repro cache list|info|clear``."""
+    """Implement ``repro cache list|info|clear`` (clear supports pruning)."""
     cache = ResultCache(args.cache_dir)
+    pruning = args.older_than is not None or args.max_size is not None
+    if pruning and args.action != "clear":
+        print("[repro] --older-than/--max-size only apply to `cache clear`", file=sys.stderr)
+        return 2
     if args.action == "clear":
+        if pruning:
+            report = cache.prune(
+                older_than_seconds=(
+                    None if args.older_than is None else args.older_than * 86_400.0
+                ),
+                max_size_bytes=(
+                    None if args.max_size is None else int(args.max_size * 1024 * 1024)
+                ),
+            )
+            print(
+                f"[repro] pruned {report.removed} entries "
+                f"({report.freed_bytes / 1024:.1f} KiB) from {cache.root}; "
+                f"{report.remaining} remain ({report.remaining_bytes / 1024:.1f} KiB)"
+            )
+            return 0
         removed = cache.clear()
         print(f"[repro] removed {removed} cache entries from {cache.root}")
         return 0
@@ -303,6 +273,72 @@ def run_bench_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_version_command(_args: argparse.Namespace) -> int:
+    """Implement ``repro version`` (the single-sourced package version)."""
+    print(f"repro {__version__}")
+    return 0
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Implement ``repro serve``: run the simulation service until Ctrl-C."""
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sim_jobs=args.sim_jobs,
+        queue_limit=args.queue_limit,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    serve(config)
+    return 0
+
+
+def run_submit_command(args: argparse.Namespace) -> int:
+    """Implement ``repro submit``: send a figure to a server and await it."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=min(args.timeout, 60.0))
+    receipt = client.submit(
+        figure=args.figure, instructions=args.instructions, seed=args.seed, full=args.full
+    )
+    admitted = "coalesced with in-flight job" if receipt.coalesced else "queued"
+    if not args.quiet:
+        print(
+            f"[repro] {args.figure}: {receipt.job_id} ({admitted}), "
+            f"request key {receipt.request_key[:16]}"
+        )
+    if args.no_wait:
+        # Honour --json even without waiting: write the submission receipt
+        # so scripts can poll the job themselves.
+        if args.json:
+            receipt_doc = {
+                "job_id": receipt.job_id,
+                "request_key": receipt.request_key,
+                "status": receipt.status,
+                "coalesced": receipt.coalesced,
+            }
+            Path(args.json).write_text(json.dumps(receipt_doc, indent=2, sort_keys=True))
+            if not args.quiet:
+                print(f"[repro] wrote {args.json}")
+        return 0
+    view = client.wait(receipt.job_id, timeout=args.timeout)
+    progress = view.get("progress", {})
+    elapsed = view.get("elapsed_seconds") or 0.0
+    if not args.quiet:
+        print(
+            f"[repro] {args.figure}: {view['status']}, "
+            f"{progress.get('executed_jobs', 0)} simulated, "
+            f"{progress.get('cache_hits', 0)} from cache, {elapsed:.2f}s"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(view, indent=2, sort_keys=True))
+        if not args.quiet:
+            print(f"[repro] wrote {args.json}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
@@ -368,14 +404,100 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("list", help="list figures, machines and suites")
     sub.set_defaults(handler=run_list_command)
 
-    sub = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    sub = subparsers.add_parser("cache", help="inspect, clear or prune the result cache")
     sub.add_argument("action", choices=("list", "info", "clear"))
     sub.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    sub.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with clear: only remove entries older than this many days",
+    )
+    sub.add_argument(
+        "--max-size",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="with clear: evict oldest entries until the cache fits in MB megabytes",
+    )
     sub.set_defaults(handler=run_cache_command)
+
+    sub = subparsers.add_parser("version", help="print the package version")
+    sub.set_defaults(handler=run_version_command)
+
+    sub = subparsers.add_parser(
+        "serve", help="run the simulation service (async job server over HTTP)"
+    )
+    sub.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"TCP port (default: {DEFAULT_SERVICE_PORT})",
+    )
+    sub.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="concurrent job executions (default: 1)",
+    )
+    sub.add_argument(
+        "--sim-jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes inside each job's sweep runner (default: 1)",
+    )
+    sub.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=8,
+        help="pending jobs admitted before answering 429 (default: 8)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shared result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true", help="disable the shared result cache"
+    )
+    sub.set_defaults(handler=run_serve_command)
+
+    sub = subparsers.add_parser(
+        "submit", help="submit a figure to a running server and wait for the result"
+    )
+    sub.add_argument("figure", choices=sorted(FIGURES), help="figure/table to reproduce")
+    sub.add_argument(
+        "--server",
+        default=DEFAULT_SERVICE_URL,
+        help=f"server base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub.add_argument(
+        "--full", action="store_true", help="run the full suites at the paper's trace length"
+    )
+    sub.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=None,
+        help="trace length per workload (default: campaign default)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help=f"campaign seed (default: {DEFAULT_SEED})"
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait (default: 600)"
+    )
+    sub.add_argument(
+        "--no-wait", action="store_true", help="submit and print the job id without waiting"
+    )
+    sub.add_argument("--json", default=None, help="write the completed status document here")
+    sub.add_argument("--quiet", action="store_true", help="suppress progress output")
+    sub.set_defaults(handler=run_submit_command)
 
     sub = subparsers.add_parser(
         "bench",

@@ -1,0 +1,133 @@
+"""Wire-level job requests: what a client submits to the simulation service.
+
+A :class:`JobRequest` names either
+
+* a **figure** -- one of the registered paper artifacts
+  (:data:`repro.sim.experiments.EXPERIMENTS`) plus the campaign knobs the CLI
+  exposes (``instructions``, ``seed``, ``full``), or
+* an explicit batch of **cases** -- raw :class:`~repro.exp.runner.SimJob`
+  records, each fully describing one simulation.
+
+Like a job, a request is **content-addressed**: :meth:`JobRequest.key` hashes
+the normalised request (campaign defaults applied), so two submissions that
+mean the same work share one key.  The service coalesces in-flight requests
+on that key, and the key is stable across processes and machines
+(:func:`repro.common.serialize.stable_hash`).
+
+This module deliberately imports only :mod:`repro.exp.runner` and the
+serialisation helpers -- resolution of figure names against the experiment
+registry happens lazily (in :meth:`normalized` and in the service), keeping
+the ``repro.exp`` package importable from :mod:`repro.sim.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialize import from_jsonable, stable_hash, to_jsonable
+from repro.exp.runner import SimJob, job_key
+
+#: Bump when the meaning of a request changes; coalescing keys then diverge.
+REQUEST_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submission: a named figure campaign or an explicit job batch."""
+
+    figure: Optional[str] = None
+    cases: Tuple[SimJob, ...] = ()
+    instructions: Optional[int] = None
+    seed: Optional[int] = None
+    full: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.figure is None) == (not self.cases):
+            raise ConfigurationError(
+                "a job request names either a figure or a non-empty batch of cases"
+            )
+        if self.cases and (
+            self.instructions is not None or self.seed is not None or self.full
+        ):
+            # Each SimJob embeds its own trace length and seed; silently
+            # ignoring the campaign knobs would run different parameters
+            # than the caller asked for.
+            raise ConfigurationError(
+                "instructions/seed/full apply to figure requests only; "
+                "case batches carry those parameters inside each job"
+            )
+        if self.instructions is not None and self.instructions <= 0:
+            raise ConfigurationError(
+                f"instructions must be positive, got {self.instructions}"
+            )
+
+    def normalized(self) -> "JobRequest":
+        """Apply the campaign defaults so equivalent requests share one key.
+
+        Figure requests get the CLI's defaults filled in (quick/full trace
+        length, paper-year seed) and have their figure name validated against
+        the registry; case batches carry every parameter inside each job and
+        pass through unchanged (``__post_init__`` already rejected campaign
+        knobs on them).
+        """
+        from repro.sim.experiments import (
+            DEFAULT_SEED,
+            QUICK_INSTRUCTIONS,
+            experiment_by_name,
+        )
+        from repro.sim.simulator import DEFAULT_INSTRUCTIONS_PER_WORKLOAD
+
+        if self.figure is None:
+            return self
+        experiment_by_name(self.figure)
+        instructions = self.instructions
+        if instructions is None:
+            instructions = (
+                DEFAULT_INSTRUCTIONS_PER_WORKLOAD if self.full else QUICK_INSTRUCTIONS
+            )
+        seed = self.seed if self.seed is not None else DEFAULT_SEED
+        return replace(self, instructions=instructions, seed=seed)
+
+    def key(self) -> str:
+        """The request's stable content address (the coalescing key)."""
+        normalized = self.normalized()
+        return stable_hash(
+            {
+                "schema": REQUEST_SCHEMA_VERSION,
+                "figure": normalized.figure,
+                "cases": sorted({job_key(case) for case in normalized.cases}),
+                "instructions": normalized.instructions,
+                "seed": normalized.seed,
+                "full": normalized.full,
+            }
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lower the request to plain JSON types (the wire payload)."""
+        return {
+            "figure": self.figure,
+            "cases": [to_jsonable(case) for case in self.cases],
+            "instructions": self.instructions,
+            "seed": self.seed,
+            "full": self.full,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobRequest":
+        """Rebuild a request from :meth:`to_dict` output (validating shape)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"expected a job request mapping, got {type(data).__name__}"
+            )
+        cases = data.get("cases") or ()
+        if not isinstance(cases, (list, tuple)):
+            raise ConfigurationError("job request 'cases' must be a list")
+        return cls(
+            figure=data.get("figure"),
+            cases=tuple(from_jsonable(SimJob, case) for case in cases),
+            instructions=data.get("instructions"),
+            seed=data.get("seed"),
+            full=bool(data.get("full", False)),
+        )

@@ -180,13 +180,24 @@ class ExperimentRunner:
     cache:
         Optional on-disk result cache consulted before executing and updated
         after; ``None`` disables caching.
+    start_method:
+        ``multiprocessing`` start method for the pool (``None`` keeps the
+        platform default).  Multithreaded hosts -- the service's worker
+        threads -- must pass ``"spawn"``: forking a pool from a thread can
+        inherit locks held by sibling threads and deadlock the children.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.start_method = start_method
         #: Number of simulations actually executed by this runner.
         self.executed_jobs = 0
         #: Number of simulations satisfied from the cache.
@@ -223,7 +234,8 @@ class ExperimentRunner:
     def _execute(self, misses: Dict[str, SimJob]) -> Dict[str, CoreResult]:
         if self.jobs > 1 and len(misses) > 1:
             workers = min(self.jobs, len(misses))
-            with multiprocessing.Pool(processes=workers) as pool:
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(processes=workers) as pool:
                 pairs = pool.map(_pool_worker, list(misses.values()))
             return {key: CoreResult.from_dict(payload) for key, payload in pairs}
         return {key: run_job(job) for key, job in misses.items()}

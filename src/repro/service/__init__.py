@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: the HTTP layer over the experiment platform.
+
+The :mod:`repro.exp` orchestration layer made every paper figure a
+deterministic, content-addressed batch of jobs; this package serves that
+capability over HTTP so consumers no longer need to sit on the machine that
+owns the cache:
+
+* :mod:`repro.service.server` -- :class:`~repro.service.server.ReproService`,
+  an asyncio HTTP server (stdlib only, no framework) exposing
+  ``POST /v1/jobs``, ``GET /v1/jobs/{id}``, ``GET /v1/results/{key}`` and
+  ``GET /v1/healthz``.
+* :mod:`repro.service.jobs` -- :class:`~repro.service.jobs.JobManager`:
+  request coalescing (identical in-flight submissions share one execution),
+  a bounded admission queue (429 on overload) and a worker pool that reuses
+  :class:`~repro.exp.runner.ExperimentRunner` over one shared
+  :class:`~repro.exp.cache.ResultCache`, so warm requests complete without
+  simulating.
+* :mod:`repro.service.client` -- :class:`~repro.service.client.ServiceClient`,
+  the blocking SDK the ``repro submit`` CLI verb wraps.
+* :mod:`repro.service.http` -- minimal HTTP/1.1 framing over asyncio streams.
+
+Start a server with ``python -m repro serve``; see ``docs/USAGE.md`` for the
+wire schema and a curl quickstart.
+"""
+
+from repro.service.client import ServiceClient, SubmitReceipt
+from repro.service.jobs import JobManager, JobState, JobStatus
+from repro.service.server import DEFAULT_PORT, ReproService, ServiceConfig, serve
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JobManager",
+    "JobState",
+    "JobStatus",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "SubmitReceipt",
+    "serve",
+]

@@ -1,0 +1,199 @@
+"""The client SDK: a small blocking client over the service's wire schema.
+
+Pure standard library (``urllib``); mirrors the four ``/v1`` endpoints:
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8077")
+    receipt = client.submit(figure="fig7", instructions=8_000)
+    status = client.wait(receipt.job_id)          # poll until completed
+    print(status["progress"], status["result"])
+
+Errors surface as :class:`~repro.common.errors.ServiceError`
+(:class:`~repro.common.errors.ServiceOverloadedError` for 429 so callers can
+back off and retry).  ``python -m repro submit`` is a thin wrapper over this
+class.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.common.errors import ServiceError, ServiceOverloadedError
+from repro.common.serialize import open_envelope, wire_envelope
+from repro.exp.request import JobRequest
+from repro.exp.runner import SimJob
+
+#: A direct (proxy-free) opener: the service is always an explicit HTTP peer,
+#: and honouring http_proxy/https_proxy env vars would route even loopback
+#: requests through a corporate proxy that cannot reach the caller's 127.0.0.1.
+_OPENER = urllib.request.build_opener(urllib.request.ProxyHandler({}))
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What ``POST /v1/jobs`` answers: the job handle and how it was admitted."""
+
+    job_id: str
+    request_key: str
+    status: str
+    coalesced: bool
+
+
+class ServiceClient:
+    """Blocking HTTP client for one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8077", timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any]:
+        """Issue one request; returns ``(status, parsed JSON body)``.
+
+        HTTP error statuses are returned (not raised) so callers can map them
+        to domain errors; transport failures raise :class:`ServiceError`.
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with _OPENER.open(request, timeout=self.timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = wire_envelope(
+                    "error",
+                    {"status": error.code, "message": body.decode("utf-8", "replace")},
+                )
+            return error.code, parsed
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.base_url}: {error.reason}") from None
+        except (OSError, http.client.HTTPException, json.JSONDecodeError) as error:
+            # Read stalls (socket.timeout), resets mid-body and truncated or
+            # non-JSON responses must surface as ServiceError too, not as raw
+            # tracebacks the CLI cannot map to an exit code.
+            raise ServiceError(
+                f"transport failure talking to {self.base_url}: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+
+    @staticmethod
+    def _error_message(data: Any) -> str:
+        try:
+            return open_envelope(data, "error")["message"]
+        except Exception:  # noqa: BLE001 -- any malformed error body
+            return str(data)
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /v1/healthz``: liveness, version, queue and job statistics."""
+        status, data = self._request("GET", "/v1/healthz")
+        if status != 200:
+            raise ServiceError(f"healthz failed ({status}): {self._error_message(data)}")
+        return open_envelope(data, "health")
+
+    def submit(
+        self,
+        figure: Optional[str] = None,
+        cases: Optional[Iterable[SimJob]] = None,
+        instructions: Optional[int] = None,
+        seed: Optional[int] = None,
+        full: bool = False,
+    ) -> SubmitReceipt:
+        """``POST /v1/jobs``: submit a figure campaign or an explicit batch."""
+        request = JobRequest(
+            figure=figure,
+            cases=tuple(cases or ()),
+            instructions=instructions,
+            seed=seed,
+            full=full,
+        )
+        status, data = self._request(
+            "POST", "/v1/jobs", wire_envelope("job_request", request.to_dict())
+        )
+        if status == 429:
+            raise ServiceOverloadedError(self._error_message(data))
+        if status not in (200, 202):
+            raise ServiceError(f"submission rejected ({status}): {self._error_message(data)}")
+        payload = open_envelope(data, "job_accepted")
+        return SubmitReceipt(
+            job_id=payload["job_id"],
+            request_key=payload["request_key"],
+            status=payload["status"],
+            coalesced=bool(payload["coalesced"]),
+        )
+
+    def status(self, job_id: str, include_result: bool = True) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}``: the job's status document."""
+        suffix = "" if include_result else "?result=0"
+        status, data = self._request("GET", f"/v1/jobs/{job_id}{suffix}")
+        if status == 404:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if status != 200:
+            raise ServiceError(f"status failed ({status}): {self._error_message(data)}")
+        return open_envelope(data, "job_status")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job completes; raises on failure or timeout.
+
+        The poll interval doubles (capped at one second) so short jobs return
+        promptly while long waits do not hammer the server -- every poll is a
+        fresh connection on a ``Connection: close`` protocol.
+        """
+        deadline = time.monotonic() + timeout
+        interval = poll_interval
+        while True:
+            view = self.status(job_id)
+            if view["status"] == "completed":
+                return view
+            if view["status"] == "failed":
+                raise ServiceError(f"job {job_id} failed: {view.get('error')}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"timed out after {timeout:.0f}s waiting for {job_id}")
+            time.sleep(interval)
+            interval = min(interval * 2, 1.0)
+
+    def result(self, key: str) -> Optional[Dict[str, Any]]:
+        """``GET /v1/results/{key}``: one cached simulation, or ``None``."""
+        status, data = self._request("GET", f"/v1/results/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(f"result lookup failed ({status}): {self._error_message(data)}")
+        return open_envelope(data, "cached_result")["result"]
+
+    def run(
+        self,
+        figure: Optional[str] = None,
+        cases: Optional[Iterable[SimJob]] = None,
+        instructions: Optional[int] = None,
+        seed: Optional[int] = None,
+        full: bool = False,
+        timeout: float = 600.0,
+    ) -> Dict[str, Any]:
+        """Submit and wait: returns the completed status document."""
+        receipt = self.submit(
+            figure=figure, cases=cases, instructions=instructions, seed=seed, full=full
+        )
+        return self.wait(receipt.job_id, timeout=timeout)

@@ -1,0 +1,319 @@
+"""The job queue: coalescing, admission control and the worker pool.
+
+:class:`JobManager` owns the server's execution state:
+
+* an in-memory **job store** (``job_id -> JobState``) with a bounded history
+  of finished jobs,
+* the **coalescing index** -- while a request is queued or running, its
+  content address (:meth:`repro.exp.request.JobRequest.key`) maps to the
+  live job, so an identical concurrent submission returns the same job
+  instead of executing twice,
+* a bounded **admission queue** -- when it is full, :meth:`submit` raises
+  :class:`~repro.common.errors.ServiceOverloadedError` (HTTP 429), and
+* a **worker pool**: ``workers`` asyncio tasks, each draining the queue and
+  running the blocking simulation on a daemon thread so the event loop stays
+  responsive.  Daemon (rather than executor) threads matter for shutdown: a
+  ``concurrent.futures`` pool's non-daemon threads are joined at interpreter
+  exit, so Ctrl-C on ``repro serve`` would hang until a running ``--full``
+  campaign finished; daemon threads let the process exit promptly.
+
+Every execution builds a fresh :class:`~repro.exp.runner.ExperimentRunner`
+over the *shared* :class:`~repro.exp.cache.ResultCache`, which is what makes
+a re-submission after completion finish with zero simulations: the runner
+satisfies every job from the cache (atomic writes make the directory safe to
+share between workers).  All submit/complete bookkeeping happens on the
+event-loop thread; worker threads only touch their own job's runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ServiceOverloadedError
+from repro.common.serialize import to_jsonable
+from repro.exp.cache import ResultCache
+from repro.exp.request import JobRequest
+from repro.exp.runner import ExperimentRunner
+from repro.sim.experiments import campaign_context, experiment_by_name
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class JobState:
+    """Everything the server knows about one submitted job."""
+
+    job_id: str
+    request: JobRequest
+    key: str
+    submitted_at: float
+    status: JobStatus = JobStatus.QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Any] = None
+    error: Optional[str] = None
+    #: How many later identical submissions were folded into this job.
+    coalesced_submissions: int = 0
+    #: The runner executing this job (progress counters), set by the worker.
+    runner: Optional[ExperimentRunner] = field(default=None, repr=False)
+
+    def view(self, include_result: bool = True) -> Dict[str, Any]:
+        """The job's wire status document (``GET /v1/jobs/{id}``)."""
+        runner = self.runner
+        elapsed = None
+        if self.started_at is not None:
+            elapsed = (self.finished_at or time.time()) - self.started_at
+        document: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "status": self.status.value,
+            "request_key": self.key,
+            "figure": self.request.figure,
+            "case_count": len(self.request.cases),
+            "instructions": self.request.instructions,
+            "seed": self.request.seed,
+            "full": self.request.full,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": elapsed,
+            "coalesced_submissions": self.coalesced_submissions,
+            "progress": {
+                "executed_jobs": runner.executed_jobs if runner is not None else 0,
+                "cache_hits": runner.cache_hits if runner is not None else 0,
+            },
+            "error": self.error,
+        }
+        if include_result and self.status is JobStatus.COMPLETED:
+            document["result"] = self.result
+        return document
+
+
+class JobManager:
+    """Job store + coalescing index + admission queue + worker pool."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        sim_jobs: int = 1,
+        queue_limit: int = 8,
+        history_limit: int = 256,
+    ) -> None:
+        self.cache = cache
+        self.workers = max(1, workers)
+        self.sim_jobs = max(1, sim_jobs)
+        self.queue_limit = max(1, queue_limit)
+        self.history_limit = max(1, history_limit)
+        self.jobs: Dict[str, JobState] = {}
+        self._inflight: Dict[str, str] = {}
+        self._queue: "asyncio.Queue[JobState]" = asyncio.Queue(maxsize=self.queue_limit)
+        self._worker_tasks: List[asyncio.Task] = []
+        self._counter = itertools.count(1)
+        self.started_at = time.time()
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+        }
+        #: Test hook: called (in the worker thread) just before execution.
+        self.pre_execute: Optional[Callable[[JobState], None]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks on the running event loop."""
+        self._worker_tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"repro-service-worker-{index}")
+            for index in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel the worker tasks (their daemon threads die with the process)."""
+        for task in self._worker_tasks:
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+
+    # -- submission (event-loop thread) --------------------------------
+
+    def submit(self, request: JobRequest) -> Tuple[JobState, bool]:
+        """Admit a request; returns ``(job, coalesced)``.
+
+        An identical in-flight request (same content address, still queued or
+        running) is coalesced: the existing job is returned and nothing is
+        enqueued.  A full queue raises :class:`ServiceOverloadedError`.
+        """
+        request = request.normalized()
+        key = request.key()
+        existing_id = self._inflight.get(key)
+        if existing_id is not None:
+            state = self.jobs[existing_id]
+            state.coalesced_submissions += 1
+            self.stats["coalesced"] += 1
+            return state, True
+        state = JobState(
+            job_id=f"job-{next(self._counter):06d}",
+            request=request,
+            key=key,
+            submitted_at=time.time(),
+        )
+        try:
+            self._queue.put_nowait(state)
+        except asyncio.QueueFull:
+            raise ServiceOverloadedError(
+                f"job queue is full ({self.queue_limit} pending); retry later"
+            ) from None
+        self.jobs[state.job_id] = state
+        self._inflight[key] = state.job_id
+        self.stats["submitted"] += 1
+        self._trim_history()
+        return state, False
+
+    def _trim_history(self) -> None:
+        """Drop the oldest finished jobs beyond the history limit."""
+        finished = [
+            job_id
+            for job_id, state in self.jobs.items()
+            if state.status in (JobStatus.COMPLETED, JobStatus.FAILED)
+        ]
+        for job_id in finished[: max(0, len(self.jobs) - self.history_limit)]:
+            del self.jobs[job_id]
+
+    # -- execution -----------------------------------------------------
+
+    async def _run_on_daemon_thread(self, state: JobState) -> Any:
+        """Execute one job on a fresh daemon thread; await its outcome.
+
+        Concurrency stays bounded by the worker tasks (each runs at most one
+        job at a time), so per-job threads cost nothing extra.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+
+        def run() -> None:
+            # `except ... as e` unbinds its name when the block ends, so the
+            # outcome closure must capture a separate binding that survives.
+            failure: Optional[BaseException] = None
+            result: Any = None
+            try:
+                result = self._execute(state)
+            except BaseException as error:  # noqa: BLE001 -- marshalled to the future
+                failure = error
+
+            def outcome() -> None:
+                if future.done():
+                    return
+                if failure is not None:
+                    future.set_exception(failure)
+                else:
+                    future.set_result(result)
+
+            try:
+                loop.call_soon_threadsafe(outcome)
+            except RuntimeError:
+                pass  # loop already closed during shutdown; result is moot
+
+        threading.Thread(target=run, name="repro-worker", daemon=True).start()
+        return await future
+
+    async def _worker_loop(self) -> None:
+        while True:
+            state = await self._queue.get()
+            state.status = JobStatus.RUNNING
+            state.started_at = time.time()
+            try:
+                state.result = await self._run_on_daemon_thread(state)
+                state.status = JobStatus.COMPLETED
+                self.stats["completed"] += 1
+            except asyncio.CancelledError:
+                state.status = JobStatus.FAILED
+                state.error = "server shut down before the job finished"
+                raise
+            except Exception as error:  # noqa: BLE001 -- job failure, not server failure
+                state.status = JobStatus.FAILED
+                state.error = f"{type(error).__name__}: {error}"
+                self.stats["failed"] += 1
+            finally:
+                state.finished_at = time.time()
+                if self._inflight.get(state.key) == state.job_id:
+                    del self._inflight[state.key]
+                self._queue.task_done()
+
+    def _execute(self, state: JobState) -> Any:
+        """Run one job to completion in a worker thread; returns the payload.
+
+        A fresh runner per job keeps the progress counters per-request; the
+        shared cache is what deduplicates work across jobs over time.  The
+        runner's pool must use the spawn start method here: this process is
+        multithreaded (event loop + executor threads), so a forked child
+        could inherit a lock a sibling thread holds and deadlock.
+        """
+        runner = ExperimentRunner(
+            jobs=self.sim_jobs,
+            cache=self.cache,
+            start_method="spawn" if self.sim_jobs > 1 else None,
+        )
+        state.runner = runner
+        hook = self.pre_execute
+        if hook is not None:
+            hook(state)
+        request = state.request
+        if request.figure is not None:
+            spec = experiment_by_name(request.figure)
+            context = campaign_context(
+                full=request.full,
+                instructions=request.instructions,
+                seed=request.seed,
+                runner=runner,
+            )
+            return to_jsonable(spec.run(context))
+        batch = runner.run_batch(list(request.cases))
+        return {key: result.to_dict() for key, result in batch.items()}
+
+    # -- lookups -------------------------------------------------------
+
+    def result_for(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look one simulation up in the shared cache by its content address.
+
+        Only well-formed content addresses (64 hex digits) reach the cache:
+        the key comes straight from the request URL, and anything else could
+        traverse outside the cache root via ``ResultCache.path_for``.
+        """
+        if self.cache is None or not re.fullmatch(r"[0-9a-f]{64}", key):
+            return None
+        cached = self.cache.get(key)
+        return None if cached is None else cached.to_dict()
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /v1/healthz`` document."""
+        from repro._version import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.workers,
+            "sim_jobs": self.sim_jobs,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.queue_limit,
+            "inflight": len(self._inflight),
+            "cache_dir": None if self.cache is None else str(self.cache.root),
+            "jobs": dict(self.stats),
+        }

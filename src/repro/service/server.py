@@ -1,0 +1,213 @@
+"""The asyncio HTTP server: routes the ``/v1`` endpoints to the job manager.
+
+Endpoints (all JSON, wrapped in versioned wire envelopes, see
+:func:`repro.common.serialize.wire_envelope`):
+
+* ``POST /v1/jobs`` -- submit a :class:`~repro.exp.request.JobRequest`
+  (named figure campaign or explicit job batch).  Answers ``202`` with a
+  ``job_accepted`` envelope, or ``200`` when the submission was coalesced
+  with an identical in-flight job, or ``429`` (+ ``Retry-After``) when the
+  admission queue is full.
+* ``GET /v1/jobs/{id}`` -- job status: lifecycle state, progress counters
+  (simulations executed vs cache hits so far) and, once completed, the full
+  result payload.
+* ``GET /v1/results/{key}`` -- direct lookup of one cached simulation by its
+  content address (the :func:`repro.exp.runner.job_key` of a ``SimJob``).
+* ``GET /v1/healthz`` -- liveness, version, queue depth and job statistics.
+
+Run it with ``python -m repro serve`` or embed :class:`ReproService` (used
+by the test suite, which starts it on an ephemeral port).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError, ServiceOverloadedError
+from repro.common.serialize import wire_envelope, open_envelope
+from repro.exp.cache import ResultCache
+from repro.exp.request import JobRequest
+from repro.service.http import HTTPRequest, ProtocolError, json_response, read_request
+from repro.service.jobs import JobManager
+
+#: Default TCP port (``repro`` on a phone keypad would not fit; 8077 does).
+#: Mirrored by the CLI's ``DEFAULT_SERVICE_PORT`` (kept lazy-import-free
+#: there); a test asserts the two stay equal.
+DEFAULT_PORT = 8077
+
+#: A client gets this long to deliver a complete request; slow or silent
+#: connections are dropped so they cannot pin handler coroutines forever.
+READ_TIMEOUT_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` needs to bring the service up."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: Concurrent request executions (worker tasks / threads).
+    workers: int = 1
+    #: Worker processes inside each request's ExperimentRunner.
+    sim_jobs: int = 1
+    #: Admission-control bound on queued (not yet running) jobs.
+    queue_limit: int = 8
+    #: Shared result cache directory; ``None`` disables caching.
+    cache_dir: Optional[str] = ".repro-cache"
+    #: Finished jobs retained for status queries.
+    history_limit: int = 256
+
+
+class ReproService:
+    """One server instance: a :class:`JobManager` behind an asyncio listener."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        self.manager = JobManager(
+            cache=cache,
+            workers=config.workers,
+            sim_jobs=config.sim_jobs,
+            queue_limit=config.queue_limit,
+            history_limit=config.history_limit,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves port 0 to the real one)."""
+        if self._server is None or not self._server.sockets:
+            return (self.config.host, self.config.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return (host, port)
+
+    async def start(self) -> None:
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() must run before serve_forever()"
+        await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=READ_TIMEOUT_SECONDS
+                )
+                if request is None:
+                    return
+                response = self._dispatch(request)
+            except asyncio.TimeoutError:
+                response = _error_response(400, "request not received in time")
+            except ProtocolError as error:
+                response = _error_response(error.status, error.message)
+            except ServiceOverloadedError as error:
+                response = _error_response(429, str(error), extra=(("Retry-After", "1"),))
+            except ConfigurationError as error:
+                response = _error_response(400, str(error))
+            except Exception as error:  # noqa: BLE001 -- never drop the connection
+                response = _error_response(500, f"{type(error).__name__}: {error}")
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, request: HTTPRequest) -> bytes:
+        path, method = request.path, request.method
+        if path == "/v1/healthz":
+            _require(method, "GET")
+            return json_response(200, wire_envelope("health", self.manager.health()))
+        if path == "/v1/jobs":
+            _require(method, "POST")
+            payload = open_envelope(request.json(), "job_request")
+            state, coalesced = self.manager.submit(JobRequest.from_dict(payload))
+            receipt = {
+                "job_id": state.job_id,
+                "request_key": state.key,
+                "status": state.status.value,
+                "coalesced": coalesced,
+            }
+            return json_response(
+                200 if coalesced else 202, wire_envelope("job_accepted", receipt)
+            )
+        if path.startswith("/v1/jobs/"):
+            _require(method, "GET")
+            job_id = path[len("/v1/jobs/") :]
+            state = self.manager.jobs.get(job_id)
+            if state is None:
+                return _error_response(404, f"unknown job {job_id!r}")
+            include_result = request.query.get("result", "1") != "0"
+            return json_response(
+                200, wire_envelope("job_status", state.view(include_result=include_result))
+            )
+        if path.startswith("/v1/results/"):
+            _require(method, "GET")
+            key = path[len("/v1/results/") :]
+            result = self.manager.result_for(key)
+            if result is None:
+                return _error_response(404, f"no cached result for key {key!r}")
+            return json_response(
+                200, wire_envelope("cached_result", {"key": key, "result": result})
+            )
+        return _error_response(404, f"unknown endpoint {method} {path}")
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise ProtocolError(405, f"method {method} not allowed (use {expected})")
+
+
+def _error_response(status: int, message: str, extra=()) -> bytes:
+    return json_response(
+        status, wire_envelope("error", {"status": status, "message": message}), extra
+    )
+
+
+async def run_service(config: ServiceConfig) -> None:
+    """Start the service and serve until cancelled (the ``serve`` CLI verb)."""
+    service = ReproService(config)
+    await service.start()
+    host, port = service.address
+    cache = config.cache_dir or "disabled"
+    print(
+        f"[repro] serving on http://{host}:{port} "
+        f"(workers={config.workers}, sim-jobs={config.sim_jobs}, "
+        f"queue-limit={config.queue_limit}, cache={cache})",
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+
+
+def serve(config: ServiceConfig) -> None:
+    """Blocking entry point; returns cleanly on Ctrl-C."""
+    try:
+        asyncio.run(run_service(config))
+    except KeyboardInterrupt:
+        print("[repro] server stopped")

@@ -39,7 +39,7 @@ bit-identical numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import DisambiguationModel
 from repro.energy.accounting import EnergyModel
@@ -818,4 +818,101 @@ def sec6_energy_comparison(context: ExperimentContext) -> EnergyComparison:
         rsac_vs_svw_ert_accesses=ert_accesses,
         rsac_vs_svw_round_trips=round_trips,
         rsac_vs_svw_cache_accesses=cache_accesses,
+    )
+
+
+# ----------------------------------------------------------------------
+# The experiment registry: figures addressable by name
+# ----------------------------------------------------------------------
+
+#: Trace length of the default (quick) campaign; matches benchmarks/conftest.py.
+QUICK_INSTRUCTIONS = 8_000
+
+#: Seed of the default campaign (the paper's publication year).
+DEFAULT_SEED = 2008
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper artifact addressable by name (CLI subcommand, wire request)."""
+
+    name: str
+    description: str
+    run: Callable[[ExperimentContext], Any]
+
+
+#: Every reproducible artifact, keyed by the name the CLI and the service use.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            "fig1",
+            "Figure 1: execution locality of address calculations",
+            fig1_execution_locality,
+        ),
+        ExperimentSpec("sec52", "Section 5.2: per-epoch LSQ sizing", sec52_epoch_sizing),
+        ExperimentSpec(
+            "fig7", "Figure 7: speed-up of the large-window LSQ schemes", fig7_speedups
+        ),
+        ExperimentSpec(
+            "fig8a", "Figure 8a: ERT filter accuracy vs storage", fig8a_filter_accuracy
+        ),
+        ExperimentSpec(
+            "fig8bc", "Figure 8b/c: sensitivity to the L1 geometry", fig8bc_cache_sensitivity
+        ),
+        ExperimentSpec(
+            "fig9", "Figure 9: restricted disambiguation models", fig9_restricted_models
+        ),
+        ExperimentSpec("fig10", "Figure 10: SVW re-execution", fig10_svw_reexecution),
+        ExperimentSpec(
+            "fig11", "Figure 11: high-locality mode vs L2 size", fig11_high_locality_mode
+        ),
+        ExperimentSpec("table2", "Table 2: structure access counts", table2_access_counts),
+        ExperimentSpec("sec6", "Section 6: energy comparison", sec6_energy_comparison),
+    )
+}
+
+
+def experiment_by_name(name: str) -> ExperimentSpec:
+    """Resolve a figure/table name to its spec, or raise ConfigurationError."""
+    from repro.common.errors import ConfigurationError
+
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(f"unknown experiment {name!r} (known: {known})") from None
+
+
+def campaign_context(
+    *,
+    full: bool = False,
+    instructions: Optional[int] = None,
+    seed: Optional[int] = DEFAULT_SEED,
+    runner: Optional[ExperimentRunner] = None,
+) -> ExperimentContext:
+    """Build the campaign context the CLI flags / a wire request describe.
+
+    This is the single definition of the campaign defaults: the quick
+    two-workload suites at :data:`QUICK_INSTRUCTIONS` unless ``full``, the
+    paper-year seed, and an optional orchestration runner.  The CLI and the
+    service both build their contexts here, which is what makes a remote
+    submission bit-identical to a local ``python -m repro`` run.
+    """
+    from repro.workloads.suite import quick_fp_suite, quick_int_suite
+
+    if full:
+        fp_suite, int_suite = spec_fp_suite(), spec_int_suite()
+        default_instructions = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
+    else:
+        fp_suite, int_suite = quick_fp_suite(), quick_int_suite()
+        default_instructions = QUICK_INSTRUCTIONS
+    return ExperimentContext(
+        fp_suite=fp_suite,
+        int_suite=int_suite,
+        instructions_per_workload=(
+            instructions if instructions is not None else default_instructions
+        ),
+        seed=seed,
+        runner=runner,
     )

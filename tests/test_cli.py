@@ -70,11 +70,87 @@ def test_cache_inspection_commands(tmp_path: Path) -> None:
     assert "is empty" in empty.stdout
 
 
+def test_cache_clear_prune_flags(tmp_path: Path) -> None:
+    cache_dir = str(tmp_path / "cache")
+    run_cli(
+        ["sec52", "--instructions", "1200", "--cache-dir", cache_dir, "--quiet"],
+        cwd=tmp_path,
+    )
+    # Age-based pruning with a huge threshold removes nothing.
+    kept = run_cli(
+        ["cache", "clear", "--older-than", "3650", "--cache-dir", cache_dir], cwd=tmp_path
+    )
+    assert kept.returncode == 0
+    assert "pruned 0 entries" in kept.stdout
+    listing = run_cli(["cache", "list", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert "swim_like" in listing.stdout
+    # Size-based pruning to zero megabytes evicts everything.
+    pruned = run_cli(
+        ["cache", "clear", "--max-size", "0", "--cache-dir", cache_dir], cwd=tmp_path
+    )
+    assert pruned.returncode == 0
+    assert "0 remain" in pruned.stdout
+    empty = run_cli(["cache", "list", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert "is empty" in empty.stdout
+    # The prune flags are clear-only.
+    misuse = run_cli(
+        ["cache", "list", "--older-than", "1", "--cache-dir", cache_dir], cwd=tmp_path
+    )
+    assert misuse.returncode == 2
+
+
+def test_version_command_single_sources_the_version(tmp_path: Path) -> None:
+    import repro
+
+    result = run_cli(["version"], cwd=tmp_path)
+    assert result.returncode == 0
+    assert result.stdout.strip() == f"repro {repro.__version__}"
+    # setup.py and repro.__version__ both read src/repro/_version.py.
+    version_file = (SRC_DIR / "repro" / "_version.py").read_text()
+    assert f'__version__ = "{repro.__version__}"' in version_file
+    setup_text = (REPO_ROOT / "setup.py").read_text()
+    assert "_version.py" in setup_text
+    assert repro.__version__ not in setup_text
+
+
 def test_list_command(tmp_path: Path) -> None:
     result = run_cli(["list"], cwd=tmp_path)
     assert result.returncode == 0
     for name in ("fig1", "fig7", "table2", "OoO-64", "FMC-Hash"):
         assert name in result.stdout
+
+
+def test_serve_and_submit_verbs(tmp_path: Path) -> None:
+    """`repro serve` + `repro submit` round trip, warm second submission."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--cache-dir", "svc-cache"],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        assert "serving on http://" in banner, banner
+        url = banner.split("serving on ")[1].split()[0]
+        submit = ["submit", "sec52", "--server", url, "--instructions", "1200"]
+        cold = run_cli(submit + ["--json", str(tmp_path / "cold.json")], cwd=tmp_path)
+        assert cold.returncode == 0, cold.stdout + cold.stderr
+        cold_view = json.loads((tmp_path / "cold.json").read_text())
+        assert cold_view["status"] == "completed"
+        assert cold_view["progress"]["executed_jobs"] > 0
+
+        warm = run_cli(submit + ["--json", str(tmp_path / "warm.json")], cwd=tmp_path)
+        assert warm.returncode == 0, warm.stdout + warm.stderr
+        warm_view = json.loads((tmp_path / "warm.json").read_text())
+        assert warm_view["progress"]["executed_jobs"] == 0
+        assert warm_view["result"] == cold_view["result"]
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
 
 
 def test_bench_writes_timing_artifact(tmp_path: Path) -> None:

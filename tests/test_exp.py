@@ -207,6 +207,96 @@ def test_cache_clear(tmp_path: Path) -> None:
     assert list(cache.entries()) == []
 
 
+def _set_entry_created(entry, created: float) -> None:
+    """Rewrite one cache entry's creation timestamp (test clock control)."""
+    payload = json.loads(entry.path.read_text())
+    payload["created"] = created
+    entry.path.write_text(json.dumps(payload, sort_keys=True))
+
+
+def populated_cache(tmp_path: Path, seeds=(1, 2, 3)) -> ResultCache:
+    """A cache with one entry per seed, with created stamps 100, 200, 300..."""
+    cache = ResultCache(tmp_path / "cache")
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    for seed in seeds:
+        runner.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=seed)
+    entries = sorted(cache.entries(), key=lambda entry: entry.seed)
+    for index, entry in enumerate(entries):
+        _set_entry_created(entry, 100.0 * (index + 1))
+    return cache
+
+
+def test_cache_prune_older_than(tmp_path: Path) -> None:
+    cache = populated_cache(tmp_path)
+    # At now=450, entries created at 100 and 200 are >= 250s old.
+    report = cache.prune(older_than_seconds=250.0, now=450.0)
+    assert report.removed == 2
+    assert report.remaining == 1
+    assert report.freed_bytes > 0
+    (survivor,) = cache.entries()
+    assert survivor.seed == 3  # the newest entry survived
+
+
+def test_cache_prune_max_size_evicts_oldest_first(tmp_path: Path) -> None:
+    cache = populated_cache(tmp_path)
+    entries = list(cache.entries())
+    keep_bytes = max(entry.size_bytes for entry in entries)
+    report = cache.prune(max_size_bytes=keep_bytes)
+    assert report.removed == 2
+    assert report.remaining == 1
+    assert report.remaining_bytes <= keep_bytes
+    (survivor,) = cache.entries()
+    assert survivor.seed == 3
+    # A no-op prune removes nothing (now pinned: created stamps are synthetic).
+    untouched = cache.prune(older_than_seconds=1e9, max_size_bytes=10**9, now=450.0)
+    assert untouched.removed == 0
+    assert untouched.remaining == 1
+
+
+def test_cache_put_is_atomic_and_cleans_up_on_failure(
+    tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    cache = ResultCache(tmp_path / "cache")
+    job = SimJob(ooo_64(), quick_fp_suite().members[0], TEST_INSTRUCTIONS, TEST_SEED)
+    result = run_job(job)
+    cache.put(job.key(), result)
+    # The committed entry is complete and no temporary survives the rename.
+    assert cache.get(job.key()) == result
+    assert list((tmp_path / "cache").rglob("*.tmp")) == []
+
+    # A writer dying at the rename must not leave a torn temporary either.
+    import repro.exp.cache as cache_module
+
+    def broken_replace(_source, _target):
+        raise OSError("injected rename failure")
+
+    monkeypatch.setattr(cache_module.os, "replace", broken_replace)
+    with pytest.raises(OSError, match="injected rename failure"):
+        cache.put(job.key(), result)
+    monkeypatch.undo()
+    assert list((tmp_path / "cache").rglob("*.tmp")) == []
+    # The previously committed entry is still intact.
+    assert cache.get(job.key()) == result
+
+
+def test_clear_spares_live_temp_files_but_sweeps_orphans(tmp_path: Path) -> None:
+    """clear() must not delete a concurrent writer's in-flight temporary."""
+    cache = ResultCache(tmp_path / "cache")
+    job = SimJob(ooo_64(), quick_fp_suite().members[0], TEST_INSTRUCTIONS, TEST_SEED)
+    cache.put(job.key(), run_job(job))
+    bucket = cache.path_for(job.key()).parent
+    temp = bucket / f".{job.key()}.json.12345.99.tmp"
+    temp.write_text("{ partial write")
+    assert cache.clear() == 1
+    # A fresh temp (a writer may be mid-put) survives the sweep ...
+    assert temp.exists()
+    # ... but an orphan from a long-dead writer is collected.
+    ancient = temp.stat().st_mtime - 7200
+    os.utime(temp, (ancient, ancient))
+    cache.clear()
+    assert not temp.exists()
+
+
 def test_runner_dedupes_identical_jobs() -> None:
     member = quick_fp_suite().members[0]
     job = SimJob(ooo_64(), member, TEST_INSTRUCTIONS, TEST_SEED)
