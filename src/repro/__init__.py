@@ -87,6 +87,14 @@ from repro.uarch import CoreResult, OutOfOrderCore
 # `repro serve` / `repro submit` need the HTTP stack -- import repro.service
 # directly for the server and client classes.
 from repro.exp import ExperimentRunner, JobRequest, ResultCache, SimJob, SweepCase
+from repro.trace import (
+    TRACE_FORMAT_VERSION,
+    TraceArchive,
+    load_trace,
+    load_trace_archive,
+    record_trace,
+    save_trace,
+)
 from repro.workloads import (
     SyntheticWorkload,
     WorkloadParameters,
@@ -97,6 +105,7 @@ from repro.workloads import (
     spec_int_suite,
     suite_by_name,
 )
+from repro.workloads.families import family_suite, family_suites
 
 from repro._version import __version__ as __version__
 
@@ -141,11 +150,15 @@ __all__ = [
     "SuiteResult",
     "SweepCase",
     "SyntheticWorkload",
+    "TRACE_FORMAT_VERSION",
     "Trace",
+    "TraceArchive",
     "TraceError",
     "WorkloadError",
     "WorkloadParameters",
     "WorkloadSuite",
+    "family_suite",
+    "family_suites",
     "fmc_central",
     "fmc_elsq",
     "fmc_hash",
@@ -154,10 +167,14 @@ __all__ = [
     "fmc_line",
     "fp_kernel",
     "int_kernel",
+    "load_trace",
+    "load_trace_archive",
     "machine_by_name",
     "ooo_64",
     "ooo_64_svw",
     "quick_context",
+    "record_trace",
+    "save_trace",
     "spec_fp_suite",
     "spec_int_suite",
     "suite_by_name",

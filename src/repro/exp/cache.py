@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.common.errors import ReproError
+from repro.trace.format import TRACE_FORMAT_VERSION
 from repro.uarch.result import CoreResult
 
 #: Bump when the on-disk entry layout changes; mismatched entries are misses.
@@ -46,6 +47,14 @@ class CacheEntry:
     seed: Optional[int]
     created: float
     size_bytes: int
+    #: Trace-format version the entry was simulated under (0 for entries
+    #: written before the field existed; those never match and read as stale).
+    trace_format: int = 0
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether this entry predates the current trace format."""
+        return self.trace_format != TRACE_FORMAT_VERSION
 
 
 @dataclass(frozen=True)
@@ -72,7 +81,11 @@ class ResultCache:
         """Return the cached result for ``key``, or ``None`` on a miss.
 
         Unreadable, corrupt or schema-mismatched entries are silently treated
-        as misses; the next :meth:`put` overwrites them.
+        as misses; the next :meth:`put` overwrites them.  Entries recorded
+        under a different trace-format version are also misses: the content
+        address *should* already differ (the job key folds the version in),
+        but the belt-and-braces check here means a stale result can never be
+        served even to a caller that computed its key some other way.
         """
         path = self.path_for(key)
         try:
@@ -80,6 +93,8 @@ class ResultCache:
         except (OSError, json.JSONDecodeError):
             return None
         if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("trace_format") != TRACE_FORMAT_VERSION:
             return None
         try:
             return CoreResult.from_dict(payload["result"])
@@ -94,6 +109,7 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
+            "trace_format": TRACE_FORMAT_VERSION,
             "key": key,
             "created": time.time(),
             "metadata": metadata or {},
@@ -145,14 +161,31 @@ class ResultCache:
                     seed=metadata.get("seed"),
                     created=payload.get("created", 0.0),
                     size_bytes=size_bytes,
+                    trace_format=payload.get("trace_format", 0),
                 )
             )
         records.sort(key=lambda entry: entry.created, reverse=True)
         return iter(records)
 
-    def clear(self) -> int:
-        """Delete every cache entry and return how many were removed."""
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete cache entries and return how many were removed.
+
+        With ``stale_only`` the pass removes only entries recorded under an
+        older trace-format version (``repro cache clear --stale``) -- those
+        can never be hits again, so sweeping them reclaims space without
+        touching live results.
+        """
         removed = 0
+        if stale_only:
+            for entry in self.entries():
+                if not entry.is_stale:
+                    continue
+                try:
+                    entry.path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            return removed
         for path in self.root.glob("??/*.json"):
             try:
                 path.unlink()

@@ -57,6 +57,9 @@ class FigureSpec:
     description: str
     run: Callable[[ExperimentContext], Any]
     render: Callable[[Any], str]
+    #: Fixed suite scope, when the experiment does not sweep the campaign's
+    #: SPEC-like suites (``None`` otherwise); mirrored from ExperimentSpec.
+    suites: Optional[tuple] = None
 
 
 #: How each registered experiment's result renders as a paper-layout table.
@@ -71,6 +74,7 @@ _RENDERERS: Dict[str, Callable[[Any], str]] = {
     "fig11": tables.format_fig11,
     "table2": tables.format_table2,
     "sec6": tables.format_sec6,
+    "family-sweep": tables.format_family_sweep,
 }
 
 def _json_render(result: Any) -> str:
@@ -84,7 +88,9 @@ def _json_render(result: Any) -> str:
 #: rather than breaking the whole CLI at import time; a test asserts the two
 #: maps actually stay in sync.
 FIGURES: Dict[str, FigureSpec] = {
-    name: FigureSpec(name, spec.description, spec.run, _RENDERERS.get(name, _json_render))
+    name: FigureSpec(
+        name, spec.description, spec.run, _RENDERERS.get(name, _json_render), spec.suites
+    )
     for name, spec in EXPERIMENTS.items()
 }
 
@@ -141,6 +147,13 @@ def run_figures(figure_names: List[str], args: argparse.Namespace) -> int:
             print()
         artifact["figures"][name] = {
             "description": spec.description,
+            # Which workloads the numbers actually came from: the campaign's
+            # suites unless the experiment has a fixed scope of its own.
+            "suites": (
+                list(spec.suites)
+                if spec.suites is not None
+                else artifact["parameters"]["suites"]
+            ),
             "elapsed_seconds": elapsed,
             "executed_jobs": executed,
             "cache_hits": hits,
@@ -163,10 +176,25 @@ def run_cache_command(args: argparse.Namespace) -> int:
     """Implement ``repro cache list|info|clear`` (clear supports pruning)."""
     cache = ResultCache(args.cache_dir)
     pruning = args.older_than is not None or args.max_size is not None
-    if pruning and args.action != "clear":
-        print("[repro] --older-than/--max-size only apply to `cache clear`", file=sys.stderr)
+    if (pruning or args.stale) and args.action != "clear":
+        print(
+            "[repro] --older-than/--max-size/--stale only apply to `cache clear`",
+            file=sys.stderr,
+        )
         return 2
     if args.action == "clear":
+        if args.stale:
+            if pruning:
+                print(
+                    "[repro] --stale cannot be combined with --older-than/--max-size",
+                    file=sys.stderr,
+                )
+                return 2
+            removed = cache.clear(stale_only=True)
+            print(
+                f"[repro] removed {removed} stale-format cache entries from {cache.root}"
+            )
+            return 0
         if pruning:
             report = cache.prune(
                 older_than_seconds=(
@@ -215,7 +243,9 @@ def run_list_command(_args: argparse.Namespace) -> int:
     for name in PAPER_CONFIGS:
         print(f"  {name}")
     print()
-    print("suites: spec_fp_like, spec_int_like, spec_fp_quick, spec_int_quick")
+    from repro.workloads.suite import suite_names
+
+    print("suites: " + ", ".join(suite_names()))
     return 0
 
 
@@ -270,6 +300,122 @@ def run_bench_command(args: argparse.Namespace) -> int:
         )
     Path(args.output).write_text(json.dumps(artifact, indent=2, sort_keys=True))
     print(f"[repro] wrote {args.output}")
+    return 0
+
+
+def run_trace_command(args: argparse.Namespace) -> int:
+    """Implement ``repro trace record|info|replay|submit``.
+
+    ``record`` generates a workload's instruction stream once and writes the
+    versioned binary container; ``replay`` simulates a recorded stream
+    locally (with ``--verify`` asserting bit-identity against regeneration);
+    ``submit`` replays it through a running service by shipping the recorded
+    provenance (the determinism contract makes remote regeneration
+    bit-identical to the recorded bytes).
+    """
+    from repro.sim.configs import machine_by_name
+    from repro.sim.experiments import QUICK_INSTRUCTIONS
+    from repro.sim.simulator import Simulator
+    from repro.trace import load_trace_archive, read_trace_header, record_trace
+
+    if args.action == "record":
+        from repro.workloads.suite import workload_by_name
+
+        params = workload_by_name(args.target)
+        out = args.out if args.out else f"{params.name}.rtrace"
+        instructions = args.instructions if args.instructions else QUICK_INSTRUCTIONS
+        archive = record_trace(params, instructions, out, seed=args.seed)
+        if not args.quiet:
+            print(
+                f"[repro] recorded {archive.header.num_instructions} instructions of "
+                f"{params.name!r} (seed {args.seed}) to {out}"
+            )
+        return 0
+
+    if args.action == "info":
+        header = read_trace_header(args.target)
+        print(f"trace file      : {args.target}")
+        print(f"format version  : {header.format_version}")
+        print(f"name            : {header.name}")
+        print(f"instructions    : {header.num_instructions}")
+        print(f"seed            : {'-' if header.seed is None else header.seed}")
+        print(f"workload params : {'recorded' if header.params is not None else 'absent'}")
+        print(f"regions         : {len(header.regions)}")
+        for region in header.regions:
+            print(
+                f"  {region.name:<16} {region.size_bytes:>12} B  "
+                f"weight {region.weight:<8g} {region.pattern}"
+            )
+        return 0
+
+    if args.action == "replay":
+        archive = load_trace_archive(args.target)
+        machine = machine_by_name(args.machine)
+        result = Simulator(machine).run_trace(archive.trace)
+        verified: Optional[bool] = None
+        if args.verify:
+            if archive.header.params is None:
+                print(
+                    "[repro] --verify needs recorded workload parameters "
+                    "(hand-built traces cannot be regenerated)",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.workloads.suite import generate_member_trace
+
+            regenerated = generate_member_trace(
+                archive.header.params,
+                archive.header.num_instructions,
+                seed=archive.header.seed,
+            )
+            reference = Simulator(machine).run_trace(regenerated)
+            verified = result == reference
+            if not verified:
+                print("[repro] replay DIVERGED from regeneration", file=sys.stderr)
+                return 1
+        if not args.quiet:
+            line = (
+                f"[repro] {archive.header.name} on {machine.name}: "
+                f"{result.cycles} cycles, IPC {result.ipc:.3f}"
+            )
+            if verified:
+                line += " (replay == regeneration: verified)"
+            print(line)
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(result.to_dict(), indent=2, sort_keys=True)
+            )
+        return 0
+
+    # submit: replay through a running service via the recorded provenance.
+    from repro.exp.runner import SimJob
+    from repro.service.client import ServiceClient
+
+    header = read_trace_header(args.target)
+    if header.params is None:
+        print(
+            "[repro] this trace has no recorded workload parameters; "
+            "only generator-recorded traces can be replayed remotely",
+            file=sys.stderr,
+        )
+        return 2
+    machine = machine_by_name(args.machine)
+    job = SimJob(machine, header.params, header.num_instructions, header.seed)
+    client = ServiceClient(args.server, timeout=min(args.timeout, 60.0))
+    view = client.run(cases=[job], timeout=args.timeout)
+    payload = view.get("result", {}).get(job.key())
+    if payload is None:
+        print("[repro] service response is missing the replayed result", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        ipc = payload["committed_instructions"] / payload["cycles"]
+        print(
+            f"[repro] {header.name} on {machine.name} via {args.server}: "
+            f"{payload['cycles']} cycles, IPC {ipc:.3f} "
+            f"({view['progress']['cache_hits']} from cache)"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -425,7 +571,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MB",
         help="with clear: evict oldest entries until the cache fits in MB megabytes",
     )
+    sub.add_argument(
+        "--stale",
+        action="store_true",
+        help="with clear: only remove entries recorded under an older trace format",
+    )
     sub.set_defaults(handler=run_cache_command)
+
+    sub = subparsers.add_parser(
+        "trace", help="record, inspect and replay binary instruction traces"
+    )
+    sub.add_argument("action", choices=("record", "info", "replay", "submit"))
+    sub.add_argument(
+        "target",
+        help="workload name for `record` (e.g. mcf_like, list_walk); "
+        "a recorded trace file for the other actions",
+    )
+    sub.add_argument(
+        "--out", default=None, help="record: output path (default: <workload>.rtrace)"
+    )
+    sub.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=None,
+        help="record: trace length (default: the quick-campaign length)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help=f"record: seed (default: {DEFAULT_SEED})"
+    )
+    sub.add_argument(
+        "--machine",
+        default="FMC-Hash",
+        help="replay/submit: named machine configuration (default: FMC-Hash)",
+    )
+    sub.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay: also regenerate from the recorded parameters and assert "
+        "the results are bit-identical",
+    )
+    sub.add_argument(
+        "--server",
+        default=DEFAULT_SERVICE_URL,
+        help=f"submit: server base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=600.0, help="submit: seconds to wait (default: 600)"
+    )
+    sub.add_argument("--json", default=None, help="replay/submit: write the result JSON here")
+    sub.add_argument("--quiet", action="store_true", help="suppress progress output")
+    sub.set_defaults(handler=run_trace_command)
 
     sub = subparsers.add_parser("version", help="print the package version")
     sub.set_defaults(handler=run_version_command)

@@ -35,12 +35,16 @@ from repro.exp.cache import ResultCache
 from repro.isa.trace import Trace
 from repro.sim.configs import MachineConfig
 from repro.sim.simulator import Simulator, SuiteResult
+from repro.trace.format import TRACE_FORMAT_VERSION
 from repro.uarch.result import CoreResult
 from repro.workloads.base import WorkloadParameters
 from repro.workloads.suite import WorkloadSuite, generate_member_trace
 
-#: Bump when the meaning of a job changes (e.g. the trace generator's
-#: derivation scheme); old cache entries then stop matching automatically.
+#: Bump when the meaning of a job changes (e.g. the runner's aggregation
+#: semantics); old cache entries then stop matching automatically.  Changes
+#: to the *trace* semantics (generator derivation, record format) are
+#: covered separately by :data:`repro.trace.format.TRACE_FORMAT_VERSION`,
+#: which every job key also incorporates.
 JOB_SCHEMA_VERSION = 1
 
 
@@ -78,8 +82,10 @@ def job_key(job: SimJob) -> str:
     """Return the SHA-256 content address of a job.
 
     The key covers the complete machine configuration, the full workload
-    description, the trace length and the seed, so any change to any of them
-    yields a different key.  The machine's display ``name`` is excluded:
+    description, the trace length, the seed and the trace-format version
+    (:data:`repro.trace.format.TRACE_FORMAT_VERSION`), so any change to any
+    of them -- including a bump of the trace semantics -- yields a different
+    key.  The machine's display ``name`` is excluded:
     physically identical machines that different figures label differently
     (e.g. ``FMC-Hash`` vs Figure 7's ``ELSQ Hash ERT + SQM``) share one
     simulation and one cache entry; the runner restores the requested label
@@ -92,6 +98,7 @@ def job_key(job: SimJob) -> str:
     return stable_hash(
         {
             "schema": JOB_SCHEMA_VERSION,
+            "trace_format": TRACE_FORMAT_VERSION,
             "machine": machine,
             "workload": to_jsonable(job.workload),
             "num_instructions": job.num_instructions,

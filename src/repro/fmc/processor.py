@@ -190,9 +190,18 @@ class FMCProcessor:
                 if current_epoch is None or self._epoch_full(current_epoch, instruction, me):
                     if current_epoch is not None:
                         epoch_live_cycle_sum += self._close_epoch(current_epoch, epoch_pool)
+                    pool_ready = epoch_pool.constraint()
+                    if pool_ready > decode_cycle:
+                        # Every engine holds a live epoch: opening the next
+                        # one (and with it migration, and ultimately fetch)
+                        # waits for the oldest epoch to commit.
+                        stats.counter("fmc.migration_stall_cycles").add(
+                            pool_ready - decode_cycle
+                        )
+                        stats.bump("fmc.migration_stalls")
                     current_epoch = _EpochBook(
                         epoch_id=next_epoch_id,
-                        open_cycle=max(decode_cycle, epoch_pool.constraint()),
+                        open_cycle=max(decode_cycle, pool_ready),
                     )
                     self.policy.epoch_opened(current_epoch.epoch_id, current_epoch.open_cycle)
                     next_epoch_id += 1

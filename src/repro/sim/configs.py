@@ -182,9 +182,19 @@ def fmc_elsq(
     check_stores: bool = False,
     epoch_load_entries: int = 64,
     epoch_store_entries: int = 32,
+    num_epochs: int = 16,
+    locality_threshold_cycles: int = 30,
     name: Optional[str] = None,
 ) -> MachineConfig:
-    """A fully parameterised FMC + ELSQ machine (base of every ELSQ variant)."""
+    """A fully parameterised FMC + ELSQ machine (base of every ELSQ variant).
+
+    ``num_epochs`` sizes both the ELSQ's epoch bookkeeping and the FMC's
+    memory-engine pool (one live epoch per engine): the two counts describe
+    the same physical resource, so the sensitivity sweeps vary them
+    together.  ``locality_threshold_cycles`` is the decode-to-address-ready
+    latency above which an instruction is classified low-locality and
+    migrated to the Memory Processor.
+    """
     elsq = ELSQConfig(
         ert=ERTConfig(kind=ert_kind, hash_bits=hash_bits),
         store_queue_mirror=store_queue_mirror,
@@ -193,11 +203,19 @@ def fmc_elsq(
         svw=SVWConfig(ssbf_index_bits=ssbf_index_bits, check_stores=check_stores),
         epoch_load_entries=epoch_load_entries,
         epoch_store_entries=epoch_store_entries,
+        num_epochs=num_epochs,
+        locality_threshold_cycles=locality_threshold_cycles,
     )
     if name is None:
         suffix = "Line" if ert_kind is ERTKind.LINE else f"Hash{hash_bits}"
         name = f"FMC-{suffix}{'' if store_queue_mirror else '-noSQM'}"
-    return MachineConfig(name=name, kind=MachineKind.FMC, lsq=LSQKind.ELSQ, elsq=elsq)
+    return MachineConfig(
+        name=name,
+        kind=MachineKind.FMC,
+        lsq=LSQKind.ELSQ,
+        fmc=FMCConfig(num_memory_engines=num_epochs),
+        elsq=elsq,
+    )
 
 
 def fmc_line(store_queue_mirror: bool = True, name: Optional[str] = None) -> MachineConfig:

@@ -34,6 +34,7 @@ bit-identical numbers.
 | :func:`fig11_high_locality_mode`  | Figure 11      |
 | :func:`table2_access_counts`      | Table 2        |
 | :func:`sec6_energy_comparison`    | Section 6      |
+| :func:`family_sweep`              | (beyond-paper) |
 """
 
 from __future__ import annotations
@@ -107,15 +108,26 @@ class ExperimentContext:
             traces=self.traces_for(suite),
         )
 
-    def run_sweep(self, cases: Sequence[SweepCase]) -> Dict[str, SuiteResult]:
+    def run_sweep(
+        self,
+        cases: Sequence[SweepCase],
+        extra_suites: Optional[Dict[str, WorkloadSuite]] = None,
+    ) -> Dict[str, SuiteResult]:
         """Run a declared sweep and return ``{case_id: SuiteResult}``.
 
         With a runner attached the whole sweep is executed as one batch
         (deduplicated, cached, parallel); otherwise the cases run serially
         through :meth:`run`, reusing the context's trace cache.
+
+        ``extra_suites`` lets an experiment sweep over suites beyond the
+        campaign's two SPEC-like ones (the workload families do this) without
+        mutating the context -- the merge is per-call, so a later experiment
+        sharing this context still sees only the campaign suites.
         """
         ensure_unique_case_ids(cases)
-        suites = self.suites()
+        suites = dict(self.suites())
+        if extra_suites:
+            suites.update(extra_suites)
         if self.runner is not None:
             return self.runner.run_cases(
                 cases, suites, self.instructions_per_workload, seed=self.seed
@@ -822,6 +834,126 @@ def sec6_energy_comparison(context: ExperimentContext) -> EnergyComparison:
 
 
 # ----------------------------------------------------------------------
+# Family sweeps: sensitivity of the new workload families to the FMC knobs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilySweepPoint:
+    """IPC and epoch-pool pressure of one (family, knob, value) point."""
+
+    family: str
+    #: Which knob this point varies: ``"epochs"`` or ``"locality_threshold"``.
+    knob: str
+    value: int
+    mean_ipc: float
+    #: Cycles lost waiting for a free memory engine (epoch-pool saturation),
+    #: per 100M instructions.
+    migration_stall_cycles_per_100m: float
+
+
+#: Epoch counts swept per family (the paper's machine has 16 engines).
+FAMILY_SWEEP_EPOCH_COUNTS: Tuple[int, ...] = (2, 4, 8, 16)
+
+#: Locality thresholds (decode-to-address-ready cycles) swept per family;
+#: 30 is the paper's operating point (L2-hit latency).
+FAMILY_SWEEP_LOCALITY_THRESHOLDS: Tuple[int, ...] = (10, 30, 90)
+
+
+def family_sweep_suites(
+    families: Optional[Sequence[str]] = None,
+) -> Dict[str, WorkloadSuite]:
+    """The family suites a sweep runs over, keyed by suite label."""
+    from repro.workloads.families import FAMILY_NAMES, family_suite
+
+    names = tuple(families) if families is not None else FAMILY_NAMES
+    return {name: family_suite(name) for name in names}
+
+
+def _family_sweep_plan(
+    families: Sequence[str],
+    epoch_counts: Sequence[int],
+    locality_thresholds: Sequence[int],
+) -> List[Tuple[str, str, int, SweepCase]]:
+    """The sweep as structured rows: ``(family, knob, value, case)``.
+
+    The case_id embeds the same triple for display/cache purposes, but the
+    experiment reads the structured values -- never parses the string back.
+    """
+    plan: List[Tuple[str, str, int, SweepCase]] = []
+    for family in families:
+        for epochs in epoch_counts:
+            case = SweepCase(
+                case_id=f"{family}|epochs={epochs}",
+                machine=fmc_elsq(num_epochs=epochs, name=f"FMC-Hash-{epochs}E"),
+                suite_label=family,
+            )
+            plan.append((family, "epochs", epochs, case))
+        for threshold in locality_thresholds:
+            case = SweepCase(
+                case_id=f"{family}|locality_threshold={threshold}",
+                machine=fmc_elsq(
+                    locality_threshold_cycles=threshold,
+                    name=f"FMC-Hash-T{threshold}",
+                ),
+                suite_label=family,
+            )
+            plan.append((family, "locality_threshold", threshold, case))
+    return plan
+
+
+def family_sweep_cases(
+    families: Sequence[str],
+    epoch_counts: Sequence[int] = FAMILY_SWEEP_EPOCH_COUNTS,
+    locality_thresholds: Sequence[int] = FAMILY_SWEEP_LOCALITY_THRESHOLDS,
+) -> List[SweepCase]:
+    """Declare the sweep: per family, one FMC variant per knob value."""
+    return [
+        case
+        for _family, _knob, _value, case in _family_sweep_plan(
+            families, epoch_counts, locality_thresholds
+        )
+    ]
+
+
+def family_sweep(
+    context: ExperimentContext,
+    families: Optional[Sequence[str]] = None,
+    epoch_counts: Sequence[int] = FAMILY_SWEEP_EPOCH_COUNTS,
+    locality_thresholds: Sequence[int] = FAMILY_SWEEP_LOCALITY_THRESHOLDS,
+) -> List[FamilySweepPoint]:
+    """Per-family IPC sensitivity to epoch count and locality threshold.
+
+    Each workload family isolates one behaviour (dependent misses, streaming
+    MLP, wrong-path churn, phase alternation), so the per-family curves show
+    *which* behaviour each FMC knob trades against: pointer chasing barely
+    uses the epoch pool while streaming saturates it; a low locality
+    threshold migrates nearly everything, a high one starves the Memory
+    Processor.
+    """
+    suites = family_sweep_suites(families)
+    plan = _family_sweep_plan(tuple(suites), epoch_counts, locality_thresholds)
+    sweep_results = context.run_sweep(
+        [case for _, _, _, case in plan], extra_suites=suites
+    )
+    points: List[FamilySweepPoint] = []
+    for family, knob, value, case in plan:
+        result = sweep_results[case.case_id]
+        points.append(
+            FamilySweepPoint(
+                family=family,
+                knob=knob,
+                value=value,
+                mean_ipc=result.mean_ipc,
+                migration_stall_cycles_per_100m=result.mean_counter_per_100m(
+                    "fmc.migration_stall_cycles"
+                ),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
 # The experiment registry: figures addressable by name
 # ----------------------------------------------------------------------
 
@@ -839,6 +971,11 @@ class ExperimentSpec:
     name: str
     description: str
     run: Callable[[ExperimentContext], Any]
+    #: Suites the experiment actually sweeps.  ``None`` means the campaign's
+    #: two SPEC-like suites; experiments with a fixed scope of their own (the
+    #: family sweep) name it here so JSON artifacts attribute the numbers to
+    #: the right workloads.
+    suites: Optional[Tuple[str, ...]] = None
 
 
 #: Every reproducible artifact, keyed by the name the CLI and the service use.
@@ -869,6 +1006,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ),
         ExperimentSpec("table2", "Table 2: structure access counts", table2_access_counts),
         ExperimentSpec("sec6", "Section 6: energy comparison", sec6_energy_comparison),
+        ExperimentSpec(
+            "family-sweep",
+            "Sensitivity: workload families vs epoch count / locality threshold",
+            family_sweep,
+            suites=("pointer_chase", "streaming", "branchy", "phased"),
+        ),
     )
 }
 

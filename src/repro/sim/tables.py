@@ -13,6 +13,7 @@ from repro.sim.experiments import (
     CacheSensitivityPoint,
     EnergyComparison,
     EpochSizingPoint,
+    FamilySweepPoint,
     FilterAccuracyPoint,
     HighLocalityPoint,
     LocalityDistribution,
@@ -168,4 +169,25 @@ def format_sec6(comparison: EnergyComparison) -> str:
                 comparison.rsac_vs_svw_cache_accesses[label],
             )
         )
+    return "\n".join(lines)
+
+
+def format_family_sweep(points: Iterable[FamilySweepPoint]) -> str:
+    """Render the family sensitivity sweep, one block per family."""
+    lines = ["Family sweep: IPC vs epoch count / locality threshold"]
+    by_family: Dict[str, List[FamilySweepPoint]] = {}
+    for point in points:
+        by_family.setdefault(point.family, []).append(point)
+    for family, family_points in by_family.items():
+        lines.append(f"  {family}:")
+        for knob in ("epochs", "locality_threshold"):
+            series = [point for point in family_points if point.knob == knob]
+            if not series:
+                continue
+            lines.append(f"    {knob}:")
+            for point in series:
+                lines.append(
+                    f"      {point.value:>5}  IPC {point.mean_ipc:6.3f}  "
+                    f"migration stalls/100M {point.migration_stall_cycles_per_100m:14.0f}"
+                )
     return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""The trace recording/replay subsystem.
+
+``repro.trace`` is the first-class trace layer of the reproduction: any
+simulation input -- a synthetic workload's instruction stream -- can be
+recorded once into a compact, versioned binary file and replayed
+bit-identically across processes, package versions and the simulation
+service.  See :mod:`repro.trace.format` for the container layout and the
+round-trip guarantees.
+"""
+
+from repro.trace.format import (
+    TRACE_FORMAT_MAGIC,
+    TRACE_FORMAT_VERSION,
+    TraceArchive,
+    TraceHeader,
+    load_trace,
+    load_trace_archive,
+    read_trace_header,
+    record_trace,
+    save_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+)
+
+__all__ = [
+    "TRACE_FORMAT_MAGIC",
+    "TRACE_FORMAT_VERSION",
+    "TraceArchive",
+    "TraceHeader",
+    "load_trace",
+    "load_trace_archive",
+    "read_trace_header",
+    "record_trace",
+    "save_trace",
+    "trace_from_bytes",
+    "trace_to_bytes",
+]

@@ -1,0 +1,359 @@
+"""The versioned binary trace container.
+
+A recorded trace is the unit of replayable simulation input: the exact
+dynamic instruction stream a workload generator produced, plus the metadata
+needed to regenerate or audit it (workload parameters, generation seed,
+format version).  The design goals, in order:
+
+* **Bit-identical round trips.**  ``load_trace(save_trace(t)) == t`` down to
+  every register number, address and region weight.  Replaying a loaded
+  trace through :meth:`repro.sim.simulator.Simulator.run_trace` therefore
+  produces a :class:`~repro.uarch.result.CoreResult` identical to simulating
+  the freshly generated trace -- across processes, machines and package
+  versions that speak the same format version.
+* **Compactness.**  Instructions are fixed-width 22-byte records
+  (struct-packed, little-endian), roughly 6x smaller than the line-oriented
+  text format of :meth:`repro.isa.trace.Trace.save` and far faster to parse.
+* **Self-description.**  The header carries a JSON document with the trace
+  name, the generation seed, the full :class:`~repro.workloads.base.WorkloadParameters`
+  (when the trace came from a generator) and the region footprints the
+  simulator's cache warm-up needs.  ``repro trace info FILE`` prints it.
+* **Fail-loud versioning.**  The container starts with a magic string and a
+  format version.  :data:`TRACE_FORMAT_VERSION` must be bumped whenever the
+  record layout *or the meaning of a generated trace* changes (e.g. the
+  generator's seed-derivation scheme); the experiment layer folds the same
+  number into every result-cache content address, so stale cached results
+  from an older format can never be served as hits.
+
+Container layout (all integers little-endian)::
+
+    offset  size  field
+    0       8     magic  b"REPROTRC"
+    8       2     format version (u16)
+    10      4     header length H (u32)
+    14      H     header JSON (utf-8): name, seed, params, regions, counts
+    14+H    8     record count N (u64)
+    22+H    22*N  fixed-width instruction records
+    ...     4     CRC-32 of the record bytes (u32)
+
+Record layout (22 bytes)::
+
+    flags   u8   bit0 has_address, bit1 mispredicted, bit2 has_latency
+    iclass  u8   index into (int_alu, fp_alu, branch, load, store)
+    dest    i8   destination register, -1 when absent
+    srcs    4xi8 source registers, -1 padding (max 4 sources)
+    address u64  byte address (0 when absent)
+    size    u16  access size in bytes
+    latency u32  latency override (0 when absent)
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.common.errors import TraceError
+from repro.common.serialize import from_jsonable, to_jsonable
+from repro.isa.instruction import InstrClass, Instruction
+from repro.isa.trace import RegionFootprint, Trace
+from repro.workloads.base import WorkloadParameters
+
+#: Leading magic of every recorded trace file.
+TRACE_FORMAT_MAGIC = b"REPROTRC"
+
+#: Version of the trace container *and* of the meaning of a generated trace.
+#: Bump on any change to the record layout, the header schema, or the
+#: workload generator's derivation scheme -- the result cache folds this
+#: number into every content address, so bumping it atomically invalidates
+#: every cached simulation produced under the old semantics.
+TRACE_FORMAT_VERSION = 1
+
+_HEADER_PREFIX = struct.Struct("<8sHI")
+_RECORD_COUNT = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+_RECORD = struct.Struct("<BBbbbbbQHI")
+
+#: Maximum number of source registers a fixed-width record can carry.
+_MAX_SRCS = 4
+
+_FLAG_HAS_ADDRESS = 1 << 0
+_FLAG_MISPREDICTED = 1 << 1
+_FLAG_HAS_LATENCY = 1 << 2
+
+#: Stable instruction-class codes.  Appending is fine; reordering is a
+#: format change and requires a version bump.
+_ICLASS_BY_CODE: Tuple[InstrClass, ...] = (
+    InstrClass.INT_ALU,
+    InstrClass.FP_ALU,
+    InstrClass.BRANCH,
+    InstrClass.LOAD,
+    InstrClass.STORE,
+)
+_CODE_BY_ICLASS = {iclass: code for code, iclass in enumerate(_ICLASS_BY_CODE)}
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The self-describing metadata block of a recorded trace."""
+
+    format_version: int
+    name: str
+    num_instructions: int
+    #: Generation seed the trace was recorded under (``None`` for hand-built
+    #: traces, or when the generator's parameter-level seed was used).
+    seed: Optional[int] = None
+    #: The full workload description that generated the trace, when known.
+    #: Replay tooling uses it to re-derive the identical stream remotely
+    #: (the service replays by regeneration, which the determinism contract
+    #: makes bit-identical to shipping the bytes).
+    params: Optional[WorkloadParameters] = None
+    regions: Tuple[RegionFootprint, ...] = ()
+
+
+@dataclass(frozen=True)
+class TraceArchive:
+    """A loaded recorded trace: the instruction stream plus its header."""
+
+    header: TraceHeader
+    trace: Trace
+
+
+def _encode_record(instruction: Instruction) -> bytes:
+    srcs = instruction.srcs
+    if len(srcs) > _MAX_SRCS:
+        raise TraceError(
+            f"instruction {instruction.seq} has {len(srcs)} sources; the fixed-width "
+            f"trace record holds at most {_MAX_SRCS}"
+        )
+    flags = 0
+    if instruction.address is not None:
+        flags |= _FLAG_HAS_ADDRESS
+    if instruction.mispredicted:
+        flags |= _FLAG_MISPREDICTED
+    if instruction.latency is not None:
+        flags |= _FLAG_HAS_LATENCY
+    padded = tuple(srcs) + (-1,) * (_MAX_SRCS - len(srcs))
+    return _RECORD.pack(
+        flags,
+        _CODE_BY_ICLASS[instruction.iclass],
+        -1 if instruction.dest is None else instruction.dest,
+        *padded,
+        instruction.address or 0,
+        instruction.size,
+        instruction.latency or 0,
+    )
+
+
+def _decode_record(seq: int, raw: bytes) -> Instruction:
+    flags, code, dest, s0, s1, s2, s3, address, size, latency = _RECORD.unpack(raw)
+    try:
+        iclass = _ICLASS_BY_CODE[code]
+    except IndexError:
+        raise TraceError(f"record {seq}: unknown instruction-class code {code}") from None
+    srcs = tuple(src for src in (s0, s1, s2, s3) if src >= 0)
+    return Instruction(
+        seq=seq,
+        iclass=iclass,
+        dest=None if dest < 0 else dest,
+        srcs=srcs,
+        address=address if flags & _FLAG_HAS_ADDRESS else None,
+        size=size,
+        mispredicted=bool(flags & _FLAG_MISPREDICTED),
+        latency=latency if flags & _FLAG_HAS_LATENCY else None,
+    )
+
+
+def _header_document(trace: Trace, params, seed: Optional[int]) -> dict:
+    return {
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "num_instructions": len(trace),
+        "seed": seed,
+        "params": None if params is None else to_jsonable(params),
+        "regions": [to_jsonable(region) for region in trace.regions],
+    }
+
+
+def _parse_header(document: dict) -> TraceHeader:
+    try:
+        params_doc = document.get("params")
+        return TraceHeader(
+            format_version=int(document["format_version"]),
+            name=str(document["name"]),
+            num_instructions=int(document["num_instructions"]),
+            seed=document.get("seed"),
+            params=(
+                None if params_doc is None else from_jsonable(WorkloadParameters, params_doc)
+            ),
+            regions=tuple(
+                from_jsonable(RegionFootprint, region)
+                for region in document.get("regions", [])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace header: {exc}") from exc
+
+
+def _validate_prefix(prefix: bytes, label: str = "trace container") -> int:
+    """Check magic and version of a container prefix; return the header length.
+
+    The single definition of the prefix contract, shared by the full parser
+    and the header-only reader so the two can never disagree about which
+    files are valid.
+    """
+    if len(prefix) < _HEADER_PREFIX.size:
+        raise TraceError(f"{label} is truncated (no header)")
+    magic, version, header_length = _HEADER_PREFIX.unpack_from(prefix, 0)
+    if magic != TRACE_FORMAT_MAGIC:
+        raise TraceError(f"{label}: not a recorded trace (bad magic)")
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"{label}: trace format version {version} is not supported "
+            f"(this build speaks version {TRACE_FORMAT_VERSION}); re-record the trace"
+        )
+    return header_length
+
+
+def _decode_header(raw_header: bytes, label: str = "trace container") -> TraceHeader:
+    """Decode and validate the header-JSON block of a container."""
+    try:
+        document = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"{label}: malformed trace header: {exc}") from exc
+    return _parse_header(document)
+
+
+def trace_to_bytes(
+    trace: Trace, params: Optional[WorkloadParameters] = None, seed: Optional[int] = None
+) -> bytes:
+    """Serialise a trace (and its provenance) to the binary container format."""
+    header_json = json.dumps(
+        _header_document(trace, params, seed), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    records = b"".join(_encode_record(instruction) for instruction in trace)
+    return b"".join(
+        (
+            _HEADER_PREFIX.pack(TRACE_FORMAT_MAGIC, TRACE_FORMAT_VERSION, len(header_json)),
+            header_json,
+            _RECORD_COUNT.pack(len(trace)),
+            records,
+            _CRC.pack(zlib.crc32(records)),
+        )
+    )
+
+
+def trace_from_bytes(data: bytes) -> TraceArchive:
+    """Parse a binary container produced by :func:`trace_to_bytes`.
+
+    Validates the magic, the format version, the record count and the
+    record checksum; any mismatch raises :class:`TraceError` rather than
+    silently replaying a different stream than was recorded.
+    """
+    header_length = _validate_prefix(data)
+    offset = _HEADER_PREFIX.size
+    if len(data) < offset + header_length:
+        raise TraceError("trace container is truncated (incomplete header)")
+    header = _decode_header(data[offset : offset + header_length])
+    offset += header_length
+    if len(data) < offset + _RECORD_COUNT.size:
+        raise TraceError("trace container is truncated (no record count)")
+    (count,) = _RECORD_COUNT.unpack_from(data, offset)
+    offset += _RECORD_COUNT.size
+    if count != header.num_instructions:
+        raise TraceError(
+            f"record count {count} disagrees with header ({header.num_instructions})"
+        )
+    body_size = count * _RECORD.size
+    if len(data) < offset + body_size + _CRC.size:
+        raise TraceError("trace container is truncated (incomplete records)")
+    records = data[offset : offset + body_size]
+    (expected_crc,) = _CRC.unpack_from(data, offset + body_size)
+    if zlib.crc32(records) != expected_crc:
+        raise TraceError("trace records are corrupt (CRC mismatch)")
+    instructions: List[Instruction] = [
+        _decode_record(seq, records[seq * _RECORD.size : (seq + 1) * _RECORD.size])
+        for seq in range(count)
+    ]
+    trace = Trace(instructions, name=header.name, regions=header.regions)
+    return TraceArchive(header=header, trace=trace)
+
+
+def save_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    params: Optional[WorkloadParameters] = None,
+    seed: Optional[int] = None,
+) -> Path:
+    """Record a trace to ``path``; returns the written path.
+
+    ``params`` (a :class:`~repro.workloads.base.WorkloadParameters`) and
+    ``seed`` are provenance: they let ``repro trace submit`` replay the
+    recording through the service by regeneration, and let auditors confirm
+    what produced the stream.
+    """
+    target = Path(path)
+    target.write_bytes(trace_to_bytes(trace, params=params, seed=seed))
+    return target
+
+
+def load_trace_archive(path: Union[str, Path]) -> TraceArchive:
+    """Load a recorded trace together with its header."""
+    source = Path(path)
+    try:
+        data = source.read_bytes()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {source}: {exc}") from exc
+    return trace_from_bytes(data)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load just the instruction stream of a recorded trace."""
+    return load_trace_archive(path).trace
+
+
+def read_trace_header(path: Union[str, Path]) -> TraceHeader:
+    """Read only the header of a recorded trace (cheap: records stay unparsed)."""
+    source = Path(path)
+    try:
+        with source.open("rb") as handle:
+            header_length = _validate_prefix(handle.read(_HEADER_PREFIX.size), str(source))
+            raw_header = handle.read(header_length)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {source}: {exc}") from exc
+    if len(raw_header) < header_length:
+        raise TraceError(f"{source}: trace container is truncated (incomplete header)")
+    return _decode_header(raw_header, str(source))
+
+
+def record_trace(
+    params: WorkloadParameters,
+    num_instructions: int,
+    path: Union[str, Path],
+    seed: Optional[int] = None,
+) -> TraceArchive:
+    """Generate one workload's trace and record it in one step.
+
+    The archive written is exactly what :func:`save_trace` would produce for
+    :func:`repro.workloads.suite.generate_member_trace` output, so replaying
+    it is bit-identical to regenerating from ``(params, num_instructions,
+    seed)`` anywhere else.
+    """
+    from repro.workloads.suite import generate_member_trace
+
+    trace = generate_member_trace(params, num_instructions, seed=seed)
+    save_trace(trace, path, params=params, seed=seed)
+    return TraceArchive(
+        header=TraceHeader(
+            format_version=TRACE_FORMAT_VERSION,
+            name=trace.name,
+            num_instructions=len(trace),
+            seed=seed,
+            params=params,
+            regions=trace.regions,
+        ),
+        trace=trace,
+    )

@@ -1,0 +1,297 @@
+"""Synthetic workload families beyond the SPEC-like suites.
+
+The paper evaluates the two-level LSQ only on SPEC-CPU-2000-like mixes.  The
+families here are *stress axes*: each one isolates a single behaviour the
+FMC's mechanisms respond to, so sensitivity sweeps (epoch count, locality
+threshold) produce interpretable curves instead of averages over mixed
+effects.
+
+* **pointer_chase** -- dependent-miss chains (``p = p->next`` over
+  multi-megabyte pools).  Serialised misses, minimal memory-level
+  parallelism: the hardest case for the Memory Processor, which spends most
+  of its time waiting on one outstanding miss whose result feeds the next
+  address.
+* **streaming** -- independent unit-stride misses over large arrays (high
+  MLP, SPEC-FP-like but purer).  Epochs fill quickly with low-locality
+  loads that never depend on each other, so epoch turnover and per-epoch
+  LSQ capacity dominate.
+* **branchy** -- irregular control flow with frequent, often miss-dependent
+  mispredictions.  Stresses wrong-path activity and epoch recycling after
+  squashes; the family analogue of what limits SPEC INT speedups.
+* **phased** -- long alternating memory-bound / compute-bound regions.
+  Exercises the locality predictor's mode switches, epoch open/close at
+  phase boundaries, and the migration stalls paid when a burst of
+  low-locality work exhausts the epoch pool.
+
+Every family is a :class:`~repro.workloads.suite.WorkloadSuite` of two
+calibrated members (a moderate and an extreme variant) and is registered in
+the suite registry (``suite_by_name("pointer_chase")`` ...) next to the
+SPEC-like suites, so the whole experiment/CLI/service stack can address it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import MemoryRegion, WorkloadParameters
+from repro.workloads.suite import WorkloadSuite
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# pointer_chase: dependent-miss chains
+# ----------------------------------------------------------------------
+
+
+def list_walk() -> WorkloadParameters:
+    """Linked-list traversal: nearly every far load feeds the next address."""
+    return WorkloadParameters(
+        name="list_walk",
+        load_fraction=0.34,
+        store_fraction=0.06,
+        branch_fraction=0.12,
+        regions=(
+            MemoryRegion(name="pool", size_bytes=32 * _MB, weight=0.030, pattern="random", is_far=True),
+            MemoryRegion(name="stack", size_bytes=32 * _KB, weight=0.60, pattern="stream"),
+            MemoryRegion(name="locals", size_bytes=256 * _KB, weight=0.37, pattern="random"),
+        ),
+        chased_load_fraction=0.55,
+        chased_store_fraction=0.02,
+        forwarding_fraction=0.06,
+        forwarding_distance_mean=10.0,
+        miss_consumer_fraction=0.30,
+        dependence_distance_mean=4.0,
+        branch_mispredict_rate=0.03,
+        mispredict_depends_on_miss_fraction=0.35,
+        phase_length=0,
+        seed=41,
+    )
+
+
+def tree_search() -> WorkloadParameters:
+    """Pointer-structure search: chased loads over two far pools plus a hot index."""
+    return WorkloadParameters(
+        name="tree_search",
+        load_fraction=0.30,
+        store_fraction=0.08,
+        branch_fraction=0.18,
+        regions=(
+            MemoryRegion(name="inner_nodes", size_bytes=8 * _MB, weight=0.022, pattern="random", is_far=True),
+            MemoryRegion(name="leaves", size_bytes=24 * _MB, weight=0.014, pattern="random", is_far=True),
+            MemoryRegion(name="index", size_bytes=48 * _KB, weight=0.56, pattern="random"),
+            MemoryRegion(name="stack", size_bytes=32 * _KB, weight=0.404, pattern="stream"),
+        ),
+        chased_load_fraction=0.38,
+        chased_store_fraction=0.02,
+        forwarding_fraction=0.08,
+        forwarding_distance_mean=8.0,
+        miss_consumer_fraction=0.22,
+        dependence_distance_mean=5.0,
+        branch_mispredict_rate=0.045,
+        mispredict_depends_on_miss_fraction=0.45,
+        phase_length=0,
+        seed=42,
+    )
+
+
+# ----------------------------------------------------------------------
+# streaming: independent high-MLP misses
+# ----------------------------------------------------------------------
+
+
+def stream_copy() -> WorkloadParameters:
+    """STREAM-style copy: unit-stride walks over arrays far larger than L2."""
+    return WorkloadParameters(
+        name="stream_copy",
+        load_fraction=0.30,
+        store_fraction=0.15,
+        branch_fraction=0.06,
+        fp_fraction=0.45,
+        regions=(
+            MemoryRegion(name="src", size_bytes=48 * _MB, weight=0.040, pattern="stream", is_far=True),
+            MemoryRegion(name="dst", size_bytes=48 * _MB, weight=0.025, pattern="stream", is_far=True),
+            MemoryRegion(name="scalars", size_bytes=8 * _KB, weight=0.935, pattern="stream"),
+        ),
+        chased_load_fraction=0.0,
+        chased_store_fraction=0.0,
+        forwarding_fraction=0.03,
+        forwarding_distance_mean=20.0,
+        miss_consumer_fraction=0.04,
+        dependence_distance_mean=10.0,
+        branch_mispredict_rate=0.005,
+        mispredict_depends_on_miss_fraction=0.0,
+        phase_length=0,
+        seed=43,
+    )
+
+
+def gather_scan() -> WorkloadParameters:
+    """Strided gather: independent random misses (prefetch-hostile, still high MLP)."""
+    return WorkloadParameters(
+        name="gather_scan",
+        load_fraction=0.36,
+        store_fraction=0.08,
+        branch_fraction=0.08,
+        fp_fraction=0.30,
+        regions=(
+            MemoryRegion(name="table", size_bytes=64 * _MB, weight=0.050, pattern="random", is_far=True),
+            MemoryRegion(name="indices", size_bytes=2 * _MB, weight=0.020, pattern="stream", is_far=True),
+            MemoryRegion(name="accum", size_bytes=16 * _KB, weight=0.93, pattern="stream"),
+        ),
+        chased_load_fraction=0.0,
+        chased_store_fraction=0.0,
+        forwarding_fraction=0.04,
+        forwarding_distance_mean=16.0,
+        miss_consumer_fraction=0.06,
+        dependence_distance_mean=9.0,
+        branch_mispredict_rate=0.01,
+        mispredict_depends_on_miss_fraction=0.05,
+        phase_length=0,
+        seed=44,
+    )
+
+
+# ----------------------------------------------------------------------
+# branchy: irregular control flow, wrong-path stress
+# ----------------------------------------------------------------------
+
+
+def interpreter_loop() -> WorkloadParameters:
+    """Bytecode-interpreter-like dispatch: dense, poorly predicted branches."""
+    return WorkloadParameters(
+        name="interpreter_loop",
+        load_fraction=0.26,
+        store_fraction=0.10,
+        branch_fraction=0.28,
+        regions=(
+            MemoryRegion(name="bytecode", size_bytes=4 * _MB, weight=0.018, pattern="random", is_far=True),
+            MemoryRegion(name="dispatch", size_bytes=32 * _KB, weight=0.50, pattern="random"),
+            MemoryRegion(name="operand_stack", size_bytes=24 * _KB, weight=0.482, pattern="stream"),
+        ),
+        chased_load_fraction=0.10,
+        chased_store_fraction=0.01,
+        forwarding_fraction=0.18,
+        forwarding_distance_mean=5.0,
+        miss_consumer_fraction=0.12,
+        dependence_distance_mean=4.0,
+        branch_mispredict_rate=0.09,
+        mispredict_depends_on_miss_fraction=0.40,
+        phase_length=0,
+        seed=45,
+    )
+
+
+def branchy_filter() -> WorkloadParameters:
+    """Data-dependent filtering: mispredictions gated by missing loads."""
+    return WorkloadParameters(
+        name="branchy_filter",
+        load_fraction=0.28,
+        store_fraction=0.08,
+        branch_fraction=0.24,
+        regions=(
+            MemoryRegion(name="records", size_bytes=16 * _MB, weight=0.025, pattern="stream", is_far=True),
+            MemoryRegion(name="predicates", size_bytes=64 * _KB, weight=0.45, pattern="random"),
+            MemoryRegion(name="output", size_bytes=128 * _KB, weight=0.525, pattern="stream"),
+        ),
+        chased_load_fraction=0.05,
+        chased_store_fraction=0.01,
+        forwarding_fraction=0.10,
+        forwarding_distance_mean=7.0,
+        miss_consumer_fraction=0.15,
+        dependence_distance_mean=4.0,
+        branch_mispredict_rate=0.07,
+        mispredict_depends_on_miss_fraction=0.60,
+        phase_length=0,
+        seed=46,
+    )
+
+
+# ----------------------------------------------------------------------
+# phased: alternating memory/compute regions
+# ----------------------------------------------------------------------
+
+
+def burst_compute() -> WorkloadParameters:
+    """Short memory bursts between long compute regions (epoch open/close churn)."""
+    return WorkloadParameters(
+        name="burst_compute",
+        load_fraction=0.28,
+        store_fraction=0.10,
+        branch_fraction=0.12,
+        fp_fraction=0.25,
+        regions=(
+            MemoryRegion(name="dataset", size_bytes=32 * _MB, weight=0.045, pattern="stream", is_far=True),
+            MemoryRegion(name="tiles", size_bytes=24 * _KB, weight=0.70, pattern="stream"),
+            MemoryRegion(name="workspace", size_bytes=256 * _KB, weight=0.255, pattern="random"),
+        ),
+        chased_load_fraction=0.02,
+        chased_store_fraction=0.0,
+        forwarding_fraction=0.08,
+        forwarding_distance_mean=10.0,
+        miss_consumer_fraction=0.10,
+        dependence_distance_mean=6.0,
+        branch_mispredict_rate=0.02,
+        mispredict_depends_on_miss_fraction=0.15,
+        phase_length=600,
+        memory_phase_fraction=0.35,
+        seed=47,
+    )
+
+
+def long_phases() -> WorkloadParameters:
+    """Long memory-bound phases that saturate the epoch pool, then drain fully."""
+    return WorkloadParameters(
+        name="long_phases",
+        load_fraction=0.32,
+        store_fraction=0.10,
+        branch_fraction=0.10,
+        fp_fraction=0.20,
+        regions=(
+            MemoryRegion(name="matrix", size_bytes=48 * _MB, weight=0.060, pattern="stream", is_far=True),
+            MemoryRegion(name="edges", size_bytes=12 * _MB, weight=0.020, pattern="random", is_far=True),
+            MemoryRegion(name="hot", size_bytes=24 * _KB, weight=0.66, pattern="stream"),
+            MemoryRegion(name="locals", size_bytes=128 * _KB, weight=0.26, pattern="random"),
+        ),
+        chased_load_fraction=0.06,
+        chased_store_fraction=0.01,
+        forwarding_fraction=0.08,
+        forwarding_distance_mean=9.0,
+        miss_consumer_fraction=0.12,
+        dependence_distance_mean=6.0,
+        branch_mispredict_rate=0.025,
+        mispredict_depends_on_miss_fraction=0.20,
+        phase_length=2500,
+        memory_phase_fraction=0.50,
+        seed=48,
+    )
+
+
+#: Member factories per family, in suite order.
+_FAMILY_MEMBERS: Dict[str, Tuple[Callable[[], WorkloadParameters], ...]] = {
+    "pointer_chase": (list_walk, tree_search),
+    "streaming": (stream_copy, gather_scan),
+    "branchy": (interpreter_loop, branchy_filter),
+    "phased": (burst_compute, long_phases),
+}
+
+#: The family names, in the stable order sweeps iterate them.
+FAMILY_NAMES: Tuple[str, ...] = tuple(_FAMILY_MEMBERS)
+
+
+def family_suite(name: str) -> WorkloadSuite:
+    """Return one workload family as a suite."""
+    try:
+        members = _FAMILY_MEMBERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload family {name!r}; available: {sorted(_FAMILY_MEMBERS)}"
+        ) from None
+    return WorkloadSuite(name=name, members=tuple(factory() for factory in members))
+
+
+def family_suites() -> Dict[str, WorkloadSuite]:
+    """Return every family suite keyed by family name, in stable order."""
+    return {name: family_suite(name) for name in FAMILY_NAMES}

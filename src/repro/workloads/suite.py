@@ -110,22 +110,65 @@ def quick_int_suite() -> WorkloadSuite:
     return spec_int_suite().subset(["mcf_like", "gcc_like"], suite_name="spec_int_quick")
 
 
+def _family_factory(family: str) -> Callable[[], WorkloadSuite]:
+    """Lazy factory for a workload family (avoids a circular import:
+    :mod:`repro.workloads.families` imports this module for WorkloadSuite)."""
+
+    def factory() -> WorkloadSuite:
+        from repro.workloads.families import family_suite
+
+        return family_suite(family)
+
+    return factory
+
+
 _SUITES: Dict[str, Callable[[], WorkloadSuite]] = {
     "spec_fp_like": spec_fp_suite,
     "spec_int_like": spec_int_suite,
     "spec_fp_quick": quick_fp_suite,
     "spec_int_quick": quick_int_suite,
+    # The stress-axis families of repro.workloads.families.
+    "pointer_chase": _family_factory("pointer_chase"),
+    "streaming": _family_factory("streaming"),
+    "branchy": _family_factory("branchy"),
+    "phased": _family_factory("phased"),
 }
+
+
+def suite_names() -> List[str]:
+    """Return every registered suite name (SPEC-like suites plus families)."""
+    return sorted(_SUITES)
 
 
 def suite_by_name(name: str) -> WorkloadSuite:
     """Return a registered suite by name.
 
-    Available suites: ``spec_fp_like``, ``spec_int_like``, ``spec_fp_quick``
-    and ``spec_int_quick``.
+    Available suites: the SPEC-like suites (``spec_fp_like``,
+    ``spec_int_like``, ``spec_fp_quick``, ``spec_int_quick``) and the
+    workload families (``pointer_chase``, ``streaming``, ``branchy``,
+    ``phased``).
     """
     try:
         factory = _SUITES[name]
     except KeyError:
         raise WorkloadError(f"unknown suite {name!r}; available: {sorted(_SUITES)}") from None
     return factory()
+
+
+def workload_by_name(name: str) -> WorkloadParameters:
+    """Resolve a workload (suite member) name across every registered suite.
+
+    Used by ``repro trace record`` so any workload the repository knows --
+    SPEC-like kernel or family member -- can be recorded by name alone.
+    """
+    seen = []
+    for suite_name in sorted(_SUITES):
+        # Quick suites are subsets of the full suites; skip the duplicates.
+        if suite_name.endswith("_quick"):
+            continue
+        suite = _SUITES[suite_name]()
+        for member in suite:
+            if member.name == name:
+                return member
+            seen.append(member.name)
+    raise WorkloadError(f"unknown workload {name!r}; available: {sorted(seen)}")

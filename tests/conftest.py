@@ -1,14 +1,48 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the model-level fixtures (stats registry, hierarchy, hand-built and
+generated traces), this module provides the temporary result cache and the
+canned recorded-trace archive, and registers the ``--regen-golden`` option
+the golden-numerics tests use (see ``test_golden.py``).  Plain importable
+helpers (repo paths, campaign constants, ``run_cli``, ``one_member_suite``)
+live in ``tests/_helpers.py``.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+from _helpers import TEST_SEED
 
 from repro.common.stats import StatsRegistry
+from repro.exp.cache import ResultCache
 from repro.isa.instruction import branch, int_alu, load, store
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.workloads.base import MemoryRegion, SyntheticWorkload, WorkloadParameters
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-numerics snapshots in tests/golden/ instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should regenerate the golden snapshots."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
+@pytest.fixture
+def result_cache(tmp_path: Path) -> ResultCache:
+    """A fresh on-disk result cache under the test's temporary directory."""
+    return ResultCache(tmp_path / "cache")
 
 
 @pytest.fixture
@@ -62,3 +96,13 @@ def small_workload_params() -> WorkloadParameters:
 def small_trace(small_workload_params: WorkloadParameters) -> Trace:
     """A 2000-instruction synthetic trace (fast enough for every unit test)."""
     return SyntheticWorkload(small_workload_params, seed=1).generate(2000)
+
+
+@pytest.fixture
+def canned_trace_file(tmp_path: Path, small_workload_params: WorkloadParameters) -> Path:
+    """A recorded binary trace of the small workload; returns its path."""
+    from repro.trace import record_trace
+
+    path = tmp_path / "canned.rtrace"
+    record_trace(small_workload_params, 1500, path, seed=TEST_SEED)
+    return path

@@ -3,25 +3,11 @@
 from __future__ import annotations
 
 import json
-import os
 import subprocess
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
-SRC_DIR = REPO_ROOT / "src"
-
-
-def run_cli(args, cwd):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
-    return subprocess.run(
-        [sys.executable, "-m", "repro", *args],
-        cwd=cwd,
-        env=env,
-        capture_output=True,
-        text=True,
-    )
+from _helpers import REPO_ROOT, SRC_DIR, run_cli, subprocess_env
 
 
 def test_figure_cold_then_warm_cache(tmp_path: Path) -> None:
@@ -122,12 +108,10 @@ def test_list_command(tmp_path: Path) -> None:
 
 def test_serve_and_submit_verbs(tmp_path: Path) -> None:
     """`repro serve` + `repro submit` round trip, warm second submission."""
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0", "--cache-dir", "svc-cache"],
         cwd=tmp_path,
-        env=env,
+        env=subprocess_env(),
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -151,6 +135,101 @@ def test_serve_and_submit_verbs(tmp_path: Path) -> None:
     finally:
         server.terminate()
         server.wait(timeout=10)
+
+
+def test_trace_record_info_replay(tmp_path: Path) -> None:
+    """`repro trace` records a binary trace, inspects it and verifies replay."""
+    recorded = run_cli(
+        [
+            "trace", "record", "gcc_like",
+            "--instructions", "800", "--seed", "5", "--out", "g.rtrace",
+        ],
+        cwd=tmp_path,
+    )
+    assert recorded.returncode == 0, recorded.stderr
+    assert "recorded 800 instructions" in recorded.stdout
+    assert (tmp_path / "g.rtrace").is_file()
+
+    info = run_cli(["trace", "info", "g.rtrace"], cwd=tmp_path)
+    assert info.returncode == 0, info.stderr
+    assert "gcc_like" in info.stdout
+    assert "format version  : 1" in info.stdout
+    assert "recorded" in info.stdout  # workload params travelled along
+
+    replay = run_cli(
+        ["trace", "replay", "g.rtrace", "--machine", "OoO-64", "--verify",
+         "--json", str(tmp_path / "replay.json")],
+        cwd=tmp_path,
+    )
+    assert replay.returncode == 0, replay.stdout + replay.stderr
+    assert "verified" in replay.stdout
+    result = json.loads((tmp_path / "replay.json").read_text())
+    assert result["committed_instructions"] == 800
+    assert result["cycles"] > 0
+
+    # A family member is recordable by bare name too.
+    family = run_cli(
+        ["trace", "record", "stream_copy", "--instructions", "600"], cwd=tmp_path
+    )
+    assert family.returncode == 0, family.stderr
+    assert (tmp_path / "stream_copy.rtrace").is_file()
+
+    unknown = run_cli(["trace", "record", "nope_like"], cwd=tmp_path)
+    assert unknown.returncode == 2
+    assert "unknown workload" in unknown.stderr
+
+
+def test_cache_clear_stale_flag(tmp_path: Path) -> None:
+    """`repro cache clear --stale` sweeps only old-format entries."""
+    cache_dir = str(tmp_path / "cache")
+    run_cli(
+        ["sec52", "--instructions", "800", "--cache-dir", cache_dir, "--quiet"],
+        cwd=tmp_path,
+    )
+    from repro.exp.cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    entries = list(cache.entries())
+    assert entries
+    doomed = entries[0]
+    payload = json.loads(doomed.path.read_text())
+    payload["trace_format"] = 0
+    doomed.path.write_text(json.dumps(payload, sort_keys=True))
+
+    swept = run_cli(["cache", "clear", "--stale", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert swept.returncode == 0, swept.stderr
+    assert "removed 1 stale-format cache entries" in swept.stdout
+    remaining = list(cache.entries())
+    assert len(remaining) == len(entries) - 1
+    assert all(not entry.is_stale for entry in remaining)
+
+    # --stale composes with nothing else and is clear-only.
+    misuse = run_cli(["cache", "list", "--stale", "--cache-dir", cache_dir], cwd=tmp_path)
+    assert misuse.returncode == 2
+    conflict = run_cli(
+        ["cache", "clear", "--stale", "--older-than", "1", "--cache-dir", cache_dir],
+        cwd=tmp_path,
+    )
+    assert conflict.returncode == 2
+
+
+def test_family_sweep_figure_command(tmp_path: Path) -> None:
+    """The family sweep is addressable like any other figure."""
+    result = run_cli(
+        [
+            "family-sweep", "--instructions", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(tmp_path / "sweep.json"),
+        ],
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Family sweep" in result.stdout
+    artifact = json.loads((tmp_path / "sweep.json").read_text())
+    points = artifact["results"]
+    families = {point["family"] for point in points}
+    assert families == {"pointer_chase", "streaming", "branchy", "phased"}
+    assert {point["knob"] for point in points} == {"epochs", "locality_threshold"}
 
 
 def test_bench_writes_timing_artifact(tmp_path: Path) -> None:

@@ -15,6 +15,7 @@ import sys
 from pathlib import Path
 
 import pytest
+from _helpers import TEST_INSTRUCTIONS, TEST_SEED, one_member_suite, subprocess_env
 
 from repro.common.serialize import canonical_json, from_jsonable, stable_hash, to_jsonable
 from repro.exp.cache import ResultCache
@@ -23,21 +24,6 @@ from repro.sim.configs import PAPER_CONFIGS, MachineConfig, fmc_hash, ooo_64
 from repro.sim.experiments import ExperimentContext, sec52_epoch_sizing
 from repro.workloads.base import WorkloadParameters
 from repro.workloads.suite import quick_fp_suite, quick_int_suite
-
-REPO_ROOT = Path(__file__).resolve().parents[1]
-SRC_DIR = REPO_ROOT / "src"
-
-#: Short traces keep the orchestration tests fast; determinism does not
-#: depend on the length.
-TEST_INSTRUCTIONS = 1_000
-TEST_SEED = 7
-
-
-def subprocess_env() -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
 
 # ----------------------------------------------------------------------
 # Serialization round trips
@@ -151,32 +137,28 @@ def test_canonical_json_is_sorted_and_compact() -> None:
 # ----------------------------------------------------------------------
 
 
-def one_member_suite():
-    return quick_fp_suite().subset(["swim_like"], suite_name="one")
-
-
-def test_cache_miss_then_hit(tmp_path: Path) -> None:
+def test_cache_miss_then_hit(result_cache: ResultCache) -> None:
     suite = one_member_suite()
-    cold_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    cold_runner = ExperimentRunner(jobs=1, cache=result_cache)
     cold = cold_runner.run_suite(fmc_hash(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
     assert cold_runner.executed_jobs == 1
     assert cold_runner.cache_hits == 0
 
-    warm_runner = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    warm_runner = ExperimentRunner(jobs=1, cache=ResultCache(result_cache.root))
     warm = warm_runner.run_suite(fmc_hash(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
     assert warm_runner.executed_jobs == 0
     assert warm_runner.cache_hits == 1
     assert warm == cold
 
-    entries = list(ResultCache(tmp_path / "cache").entries())
+    entries = list(result_cache.entries())
     assert len(entries) == 1
     assert entries[0].machine == "FMC-Hash"
     assert entries[0].workload == "swim_like"
     assert entries[0].num_instructions == TEST_INSTRUCTIONS
 
 
-def test_cache_corrupt_entry_is_a_miss(tmp_path: Path) -> None:
-    cache = ResultCache(tmp_path / "cache")
+def test_cache_corrupt_entry_is_a_miss(result_cache: ResultCache) -> None:
+    cache = result_cache
     suite = one_member_suite()
     runner = ExperimentRunner(jobs=1, cache=cache)
     runner.run_suite(ooo_64(), suite, TEST_INSTRUCTIONS, seed=TEST_SEED)
@@ -199,12 +181,11 @@ def test_cache_corrupt_entry_is_a_miss(tmp_path: Path) -> None:
     assert again.executed_jobs == 1
 
 
-def test_cache_clear(tmp_path: Path) -> None:
-    cache = ResultCache(tmp_path / "cache")
-    runner = ExperimentRunner(jobs=1, cache=cache)
+def test_cache_clear(result_cache: ResultCache) -> None:
+    runner = ExperimentRunner(jobs=1, cache=result_cache)
     runner.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=TEST_SEED)
-    assert cache.clear() == 1
-    assert list(cache.entries()) == []
+    assert result_cache.clear() == 1
+    assert list(result_cache.entries()) == []
 
 
 def _set_entry_created(entry, created: float) -> None:
@@ -295,6 +276,57 @@ def test_clear_spares_live_temp_files_but_sweeps_orphans(tmp_path: Path) -> None
     os.utime(temp, (ancient, ancient))
     cache.clear()
     assert not temp.exists()
+
+
+def test_job_key_covers_the_trace_format_version(monkeypatch: pytest.MonkeyPatch) -> None:
+    """Bumping the trace format must change every content address."""
+    from repro.exp import runner as runner_module
+
+    member = quick_fp_suite().members[0]
+    job = SimJob(ooo_64(), member, TEST_INSTRUCTIONS, TEST_SEED)
+    job_key.cache_clear()
+    before = job_key(job)
+    monkeypatch.setattr(
+        runner_module, "TRACE_FORMAT_VERSION", runner_module.TRACE_FORMAT_VERSION + 1
+    )
+    job_key.cache_clear()
+    after = job_key(job)
+    monkeypatch.undo()
+    job_key.cache_clear()
+    assert after != before
+
+
+def test_stale_trace_format_entry_is_never_a_hit(result_cache: ResultCache) -> None:
+    """An entry recorded under an older trace format reads as a miss and can
+    be swept selectively with ``clear(stale_only=True)``."""
+    cache = result_cache
+    runner = ExperimentRunner(jobs=1, cache=cache)
+    runner.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=TEST_SEED)
+    runner.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=TEST_SEED + 1)
+    fresh_entry, stale_entry = sorted(cache.entries(), key=lambda entry: entry.seed or 0)
+    assert not fresh_entry.is_stale and not stale_entry.is_stale
+
+    # Forge an entry from an older format generation.
+    payload = json.loads(stale_entry.path.read_text())
+    payload["trace_format"] = payload["trace_format"] - 1
+    stale_entry.path.write_text(json.dumps(payload, sort_keys=True))
+
+    assert cache.get(stale_entry.key) is None  # belt-and-braces miss
+    assert cache.get(fresh_entry.key) is not None
+    refetched = {entry.key: entry for entry in cache.entries()}
+    assert refetched[stale_entry.key].is_stale
+    assert not refetched[fresh_entry.key].is_stale
+
+    # A rerun under the stale key re-executes instead of serving the entry.
+    rerun = ExperimentRunner(jobs=1, cache=cache)
+    rerun.run_suite(ooo_64(), one_member_suite(), TEST_INSTRUCTIONS, seed=TEST_SEED + 1)
+    assert rerun.executed_jobs == 1 and rerun.cache_hits == 0
+
+    # Selective sweep: re-forge, then clear only the stale entry.
+    stale_entry.path.write_text(json.dumps(payload, sort_keys=True))
+    assert cache.clear(stale_only=True) == 1
+    assert cache.get(fresh_entry.key) is not None
+    assert not stale_entry.path.exists()
 
 
 def test_runner_dedupes_identical_jobs() -> None:

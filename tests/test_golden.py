@@ -1,0 +1,117 @@
+"""Golden-numerics regression tests.
+
+Each golden snapshot pins the complete JSON-serialised result series of one
+experiment under an exactly specified campaign (suites, trace length, seed).
+The simulator is deterministic -- workload generation flows through
+``DeterministicRng`` seeded from configuration alone and the timing models
+contain no randomness -- so a reproduction must match the snapshot *bit for
+bit*; any diff is a semantic change to the models, the generator or the
+experiment post-processing and must be reviewed as such.
+
+Regenerating after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --regen-golden
+    git diff tests/golden/   # review the numeric drift, then commit
+
+The comparison runs on every push in CI (the ``golden-drift`` job), so an
+accidental numerics change cannot land silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Tuple
+
+import pytest
+
+from repro.common.serialize import to_jsonable
+from repro.sim.experiments import (
+    campaign_context,
+    family_sweep,
+    fig7_speedups,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: The pinned campaign of every golden: the quick two-workload suites at a
+#: short trace length (fast enough for every push) and the paper-year seed.
+GOLDEN_SEED = 2008
+FIG7_INSTRUCTIONS = 2_000
+FAMILY_INSTRUCTIONS = 1_200
+
+
+def _fig7_results() -> Any:
+    context = campaign_context(instructions=FIG7_INSTRUCTIONS, seed=GOLDEN_SEED)
+    rows, baseline_ipc = fig7_speedups(context)
+    return {"rows": to_jsonable(rows), "baseline_ipc": to_jsonable(baseline_ipc)}
+
+
+def _family_sweep_results() -> Any:
+    context = campaign_context(instructions=FAMILY_INSTRUCTIONS, seed=GOLDEN_SEED)
+    points = family_sweep(
+        context, epoch_counts=(2, 16), locality_thresholds=(10, 90)
+    )
+    return to_jsonable(points)
+
+
+#: name -> (snapshot file, campaign descriptor, result builder).
+GOLDENS: Dict[str, Tuple[str, Dict[str, Any], Callable[[], Any]]] = {
+    "fig7": (
+        "fig7_quick.json",
+        {
+            "experiment": "fig7",
+            "suites": ["spec_fp_quick", "spec_int_quick"],
+            "instructions_per_workload": FIG7_INSTRUCTIONS,
+            "seed": GOLDEN_SEED,
+        },
+        _fig7_results,
+    ),
+    "family-sweep": (
+        "family_sweep_quick.json",
+        {
+            "experiment": "family-sweep",
+            "families": ["pointer_chase", "streaming", "branchy", "phased"],
+            "epoch_counts": [2, 16],
+            "locality_thresholds": [10, 90],
+            "instructions_per_workload": FAMILY_INSTRUCTIONS,
+            "seed": GOLDEN_SEED,
+        },
+        _family_sweep_results,
+    ),
+}
+
+
+def _canonical(document: Any) -> Any:
+    """Normalise through a JSON round trip (tuples->lists, key order)."""
+    return json.loads(json.dumps(document, sort_keys=True))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_golden_numerics(name: str, regen_golden: bool) -> None:
+    filename, campaign, builder = GOLDENS[name]
+    path = GOLDEN_DIR / filename
+    document = _canonical({"campaign": campaign, "results": builder()})
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    assert path.is_file(), (
+        f"golden snapshot {path} is missing; create it with "
+        f"`python -m pytest tests/test_golden.py --regen-golden`"
+    )
+    expected = json.loads(path.read_text())
+    assert document["campaign"] == expected["campaign"], (
+        f"{name}: the golden campaign description changed; regenerate the "
+        f"snapshot deliberately with --regen-golden"
+    )
+    assert document["results"] == expected["results"], (
+        f"{name}: numerics drifted from {path.name}; if the change is "
+        f"intentional, regenerate with --regen-golden and review the diff"
+    )
+
+
+def test_goldens_have_no_orphan_snapshots() -> None:
+    """Every file in tests/golden/ belongs to a registered golden."""
+    known = {filename for filename, _, _ in GOLDENS.values()}
+    on_disk = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == known

@@ -20,6 +20,7 @@ import urllib.error
 import urllib.request
 
 import pytest
+from _helpers import TEST_INSTRUCTIONS, TEST_SEED
 
 from repro._version import __version__
 from repro.common.errors import ConfigurationError, ServiceError, ServiceOverloadedError
@@ -31,10 +32,6 @@ from repro.service.server import ReproService, ServiceConfig
 from repro.sim.configs import fmc_hash, ooo_64
 from repro.sim.experiments import campaign_context, experiment_by_name
 from repro.workloads.suite import quick_fp_suite
-
-#: Short traces keep the service tests fast; determinism is length-independent.
-TEST_INSTRUCTIONS = 900
-TEST_SEED = 7
 
 #: Generous bound for one quick-campaign figure on a loaded CI machine.
 WAIT_TIMEOUT = 120.0
@@ -197,6 +194,28 @@ def test_case_batch_and_results_endpoint(service) -> None:
     # filesystem (no path traversal out of the cache root).
     assert client.result("..%2F..%2Fetc%2Fpasswd") is None
     assert client.result("KEY") is None
+
+
+def test_recorded_trace_replays_bit_identically_through_the_service(
+    service, canned_trace_file
+) -> None:
+    """The acceptance path: a recorded trace, replayed remotely via its
+    recorded provenance, matches simulating the recorded bytes locally."""
+    from repro.sim.simulator import Simulator
+    from repro.trace import load_trace_archive
+
+    svc, client = service
+    archive = load_trace_archive(canned_trace_file)
+    assert archive.header.params is not None
+    job = SimJob(
+        fmc_hash(),
+        archive.header.params,
+        archive.header.num_instructions,
+        archive.header.seed,
+    )
+    view = client.run(cases=[job], timeout=WAIT_TIMEOUT)
+    local = Simulator(fmc_hash()).run_trace(archive.trace)
+    assert view["result"] == {job.key(): local.to_dict()}
 
 
 def test_parallel_sim_jobs_inside_service(tmp_path) -> None:

@@ -1,0 +1,222 @@
+"""Tests for the binary trace container (repro.trace).
+
+Covers the ISSUE's acceptance surface: in-memory and on-disk round trips
+preserve every instruction bit-for-bit, a saved-then-loaded trace replayed
+through ``Simulator.run_trace`` produces a ``CoreResult`` identical to
+simulating the freshly generated trace (for all four new workload families
+and both existing SPEC-like suites), and malformed containers fail loudly
+instead of replaying a different stream than was recorded.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from _helpers import TEST_SEED
+
+from repro.common.errors import TraceError
+from repro.isa.instruction import Instruction, InstrClass
+from repro.isa.trace import Trace
+from repro.sim.configs import fmc_hash, ooo_64
+from repro.sim.simulator import Simulator
+from repro.trace import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    load_trace_archive,
+    read_trace_header,
+    record_trace,
+    save_trace,
+    trace_from_bytes,
+    trace_to_bytes,
+)
+from repro.trace.format import _HEADER_PREFIX
+from repro.workloads.families import (
+    branchy_filter,
+    gather_scan,
+    list_walk,
+    long_phases,
+)
+from repro.workloads.spec_fp import swim_like
+from repro.workloads.spec_int import mcf_like
+from repro.workloads.suite import generate_member_trace
+
+#: One representative member per new family plus one per existing suite --
+#: the replay-bit-identity matrix the acceptance criteria name.
+REPLAY_WORKLOADS = (
+    ("pointer_chase", list_walk),
+    ("streaming", gather_scan),
+    ("branchy", branchy_filter),
+    ("phased", long_phases),
+    ("spec_fp_like", swim_like),
+    ("spec_int_like", mcf_like),
+)
+
+
+def _traces_equal(a: Trace, b: Trace) -> bool:
+    return (
+        list(a) == list(b)
+        and a.name == b.name
+        and a.regions == b.regions
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+def test_in_memory_round_trip(small_workload_params) -> None:
+    trace = generate_member_trace(small_workload_params, 1500, seed=TEST_SEED)
+    archive = trace_from_bytes(
+        trace_to_bytes(trace, params=small_workload_params, seed=TEST_SEED)
+    )
+    assert _traces_equal(archive.trace, trace)
+    assert archive.header.format_version == TRACE_FORMAT_VERSION
+    assert archive.header.name == trace.name
+    assert archive.header.num_instructions == len(trace)
+    assert archive.header.seed == TEST_SEED
+    assert archive.header.params == small_workload_params
+    assert archive.header.regions == trace.regions
+
+
+def test_on_disk_round_trip(tmp_path: Path, small_workload_params) -> None:
+    trace = generate_member_trace(small_workload_params, 1200, seed=3)
+    path = save_trace(trace, tmp_path / "t.rtrace", params=small_workload_params, seed=3)
+    assert _traces_equal(load_trace(path), trace)
+    header = read_trace_header(path)
+    assert header.num_instructions == 1200
+    assert header.params == small_workload_params
+
+
+def test_hand_built_trace_round_trips_without_params(tmp_path: Path, tiny_trace) -> None:
+    path = save_trace(tiny_trace, tmp_path / "tiny.rtrace")
+    archive = load_trace_archive(path)
+    assert _traces_equal(archive.trace, tiny_trace)
+    assert archive.header.params is None
+    assert archive.header.seed is None
+
+
+def test_every_instruction_field_survives(tmp_path: Path) -> None:
+    """Edge values of every record field survive the fixed-width encoding."""
+    trace = Trace(
+        [
+            Instruction(seq=0, iclass=InstrClass.INT_ALU, dest=0, srcs=()),
+            Instruction(seq=1, iclass=InstrClass.FP_ALU, dest=127, srcs=(0, 63, 64, 127)),
+            Instruction(
+                seq=2, iclass=InstrClass.BRANCH, srcs=(5,), mispredicted=True
+            ),
+            Instruction(
+                seq=3,
+                iclass=InstrClass.LOAD,
+                dest=8,
+                srcs=(1,),
+                address=(1 << 40) + 24,
+                size=4,
+                latency=300,
+            ),
+            Instruction(
+                seq=4, iclass=InstrClass.STORE, srcs=(2, 3), address=0, size=16
+            ),
+        ],
+        name="edges",
+    )
+    restored = trace_from_bytes(trace_to_bytes(trace)).trace
+    assert list(restored) == list(trace)
+
+
+def test_record_trace_equals_generate_then_save(tmp_path: Path) -> None:
+    params = swim_like()
+    archive = record_trace(params, 1000, tmp_path / "w.rtrace", seed=TEST_SEED)
+    reference = generate_member_trace(params, 1000, seed=TEST_SEED)
+    assert _traces_equal(archive.trace, reference)
+    assert _traces_equal(load_trace(tmp_path / "w.rtrace"), reference)
+
+
+def test_too_many_sources_rejected() -> None:
+    crowded = Trace(
+        [Instruction(seq=0, iclass=InstrClass.INT_ALU, dest=1, srcs=(1, 2, 3, 4, 5))],
+        name="crowded",
+    )
+    with pytest.raises(TraceError, match="at most 4"):
+        trace_to_bytes(crowded)
+
+
+# ----------------------------------------------------------------------
+# Replay bit-identity (the acceptance criterion)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "suite_name, factory", REPLAY_WORKLOADS, ids=[name for name, _ in REPLAY_WORKLOADS]
+)
+def test_replay_is_bit_identical_to_regeneration(
+    tmp_path: Path, suite_name: str, factory
+) -> None:
+    """save -> load -> simulate == generate -> simulate, per family and suite."""
+    params = factory()
+    generated = generate_member_trace(params, 1500, seed=TEST_SEED)
+    path = save_trace(generated, tmp_path / "replay.rtrace", params=params, seed=TEST_SEED)
+    replayed = load_trace(path)
+    simulator = Simulator(fmc_hash())
+    fresh = simulator.run_trace(generated)
+    replay = simulator.run_trace(replayed)
+    assert replay == fresh  # CoreResult equality covers cycles, stats, extras
+    assert replay.to_dict() == fresh.to_dict()
+
+
+def test_replay_is_bit_identical_on_the_baseline_core(tmp_path: Path) -> None:
+    params = mcf_like()
+    generated = generate_member_trace(params, 1500, seed=TEST_SEED)
+    save_trace(generated, tmp_path / "b.rtrace", params=params)
+    replay = Simulator(ooo_64()).run_trace(load_trace(tmp_path / "b.rtrace"))
+    fresh = Simulator(ooo_64()).run_trace(generated)
+    assert replay == fresh
+
+
+# ----------------------------------------------------------------------
+# Fail-loud validation
+# ----------------------------------------------------------------------
+
+
+def test_bad_magic_rejected(canned_trace_file: Path) -> None:
+    data = canned_trace_file.read_bytes()
+    with pytest.raises(TraceError, match="bad magic"):
+        trace_from_bytes(b"NOTATRCE" + data[8:])
+
+
+def test_unsupported_version_rejected(canned_trace_file: Path) -> None:
+    data = bytearray(canned_trace_file.read_bytes())
+    magic, _version, header_len = _HEADER_PREFIX.unpack_from(bytes(data), 0)
+    _HEADER_PREFIX.pack_into(data, 0, magic, TRACE_FORMAT_VERSION + 1, header_len)
+    with pytest.raises(TraceError, match="version"):
+        trace_from_bytes(bytes(data))
+    canned_trace_file.write_bytes(bytes(data))
+    with pytest.raises(TraceError, match="version"):
+        read_trace_header(canned_trace_file)
+
+
+def test_truncation_rejected(canned_trace_file: Path) -> None:
+    data = canned_trace_file.read_bytes()
+    for cut in (4, _HEADER_PREFIX.size + 10, len(data) // 2, len(data) - 2):
+        with pytest.raises(TraceError, match="truncated|corrupt"):
+            trace_from_bytes(data[:cut])
+
+
+def test_record_corruption_rejected(canned_trace_file: Path) -> None:
+    data = bytearray(canned_trace_file.read_bytes())
+    # Flip a byte in the middle of the record section: CRC must catch it.
+    data[len(data) // 2] ^= 0xFF
+    with pytest.raises(TraceError, match="CRC|corrupt|unknown instruction-class"):
+        trace_from_bytes(bytes(data))
+
+
+def test_header_only_read_does_not_parse_records(canned_trace_file: Path) -> None:
+    """Corrupt records do not prevent reading the header (cheap info path)."""
+    data = bytearray(canned_trace_file.read_bytes())
+    data[-10] ^= 0xFF
+    canned_trace_file.write_bytes(bytes(data))
+    header = read_trace_header(canned_trace_file)
+    assert header.num_instructions == 1500
+    with pytest.raises(TraceError):
+        load_trace_archive(canned_trace_file)
