@@ -62,6 +62,7 @@ from repro.energy import EnergyModel
 from repro.fmc import FMCProcessor
 from repro.isa import InstrClass, Instruction, Trace
 from repro.memory import MemoryHierarchy
+from repro.sim.engine import DEFAULT_ENGINE, engine_by_name, engine_names
 from repro.sim import (
     ExperimentContext,
     MachineConfig,
@@ -115,6 +116,7 @@ __all__ = [
     "ConventionalLSQ",
     "CoreConfig",
     "CoreResult",
+    "DEFAULT_ENGINE",
     "DisambiguationModel",
     "ELSQConfig",
     "ERTConfig",
@@ -157,6 +159,8 @@ __all__ = [
     "WorkloadError",
     "WorkloadParameters",
     "WorkloadSuite",
+    "engine_by_name",
+    "engine_names",
     "family_suite",
     "family_suites",
     "fmc_central",

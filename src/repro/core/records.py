@@ -28,7 +28,7 @@ class Locality(enum.Enum):
     LOW = "low"
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRecord:
     """A load as seen by the LSQ models.
 
@@ -75,7 +75,7 @@ class LoadRecord:
         return (self.address, self.address + self.size)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreRecord:
     """A store as seen by the LSQ models.
 
@@ -154,7 +154,7 @@ class StoreRecord:
         return cycle < epoch_commit_cycle
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForwardingResult:
     """Outcome of searching a store queue on behalf of a load."""
 
@@ -168,7 +168,7 @@ class ForwardingResult:
         return self.store is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class EpochState:
     """Lifecycle of one epoch (LL-LSQ bank) as seen by the LSQ models."""
 

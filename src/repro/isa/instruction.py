@@ -50,7 +50,7 @@ class InstrClass(enum.Enum):
         return self in (InstrClass.LOAD, InstrClass.STORE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One committed dynamic instruction.
 

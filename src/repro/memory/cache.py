@@ -49,6 +49,13 @@ class LockResult:
     allocated: bool
 
 
+#: Shared outcome singletons for the two result shapes that carry no
+#: per-access payload; the access path is hot enough that allocating a fresh
+#: frozen dataclass per hit shows up in profiles.
+_HIT_RESULT = AccessResult(hit=True, evicted_line=None)
+_MISS_RESULT = AccessResult(hit=False, evicted_line=None)
+
+
 class SetAssociativeCache:
     """Tag-state model of one cache level.
 
@@ -70,6 +77,13 @@ class SetAssociativeCache:
         self.stats_enabled = True
         self._num_sets = config.num_sets
         self._line_shift = config.line_size.bit_length() - 1
+        # Counter names are fixed per cache; formatting them on every access
+        # would dominate the (very hot) tag-probe path.
+        self._hits_name = f"{config.name}.hits"
+        self._misses_name = f"{config.name}.misses"
+        self._evictions_name = f"{config.name}.evictions"
+        self._lock_conflicts_name = f"{config.name}.lock_conflicts"
+        self._lines_locked_name = f"{config.name}.lines_locked"
         #: per-set mapping from way index to resident line number (tag+index).
         self._tags: List[List[Optional[int]]] = [
             [None] * config.associativity for _ in range(self._num_sets)
@@ -108,15 +122,21 @@ class SetAssociativeCache:
         When ``allocate_on_miss`` is false the access only probes the tags
         (used for residency checks that must not disturb state).
         """
-        set_index = self.set_index(address)
-        way = self._find_way(address)
-        if way is not None:
+        line = address >> self._line_shift
+        set_index = line % self._num_sets
+        try:
+            way = self._tags[set_index].index(line)
+        except ValueError:
+            way = -1
+        if way >= 0:
             self._lru[set_index].touch(way)
-            self._bump(f"{self.config.name}.hits")
-            return AccessResult(hit=True, evicted_line=None)
-        self._bump(f"{self.config.name}.misses")
+            if self.stats_enabled:
+                self._stats.bump(self._hits_name)
+            return _HIT_RESULT
+        if self.stats_enabled:
+            self._stats.bump(self._misses_name)
         if not allocate_on_miss:
-            return AccessResult(hit=False, evicted_line=None)
+            return _MISS_RESULT
         evicted, blocked = self._allocate(address)
         return AccessResult(hit=False, evicted_line=evicted, allocation_blocked=blocked)
 
@@ -141,11 +161,11 @@ class SetAssociativeCache:
         allocated = False
         if way is None:
             if self._lru[set_index].all_locked():
-                self._bump(f"{self.config.name}.lock_conflicts")
+                self._bump(self._lock_conflicts_name)
                 return LockResult(locked=False, conflict=True, allocated=False)
             evicted, blocked = self._allocate(address)
             if blocked:
-                self._bump(f"{self.config.name}.lock_conflicts")
+                self._bump(self._lock_conflicts_name)
                 return LockResult(locked=False, conflict=True, allocated=False)
             way = self._find_way(address)
             allocated = True
@@ -154,7 +174,7 @@ class SetAssociativeCache:
         owners = self._lock_owners.setdefault(line, set())
         owners.add(owner)
         self._lru[set_index].lock(way)
-        self._bump(f"{self.config.name}.lines_locked")
+        self._bump(self._lines_locked_name)
         return LockResult(locked=True, conflict=False, allocated=allocated)
 
     def unlock_owner(self, owner: int) -> int:
@@ -186,25 +206,26 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
 
     def _find_way(self, address: int) -> Optional[int]:
-        line = self.line_number(address)
-        set_tags = self._tags[self.set_index(address)]
-        for way, resident in enumerate(set_tags):
-            if resident == line:
-                return way
-        return None
+        line = address >> self._line_shift
+        try:
+            return self._tags[line % self._num_sets].index(line)
+        except ValueError:
+            return None
 
     def _allocate(self, address: int) -> Tuple[Optional[int], bool]:
         """Allocate the line containing ``address``; return (evicted_line, blocked)."""
-        set_index = self.set_index(address)
+        line = address >> self._line_shift
+        set_index = line % self._num_sets
         lru = self._lru[set_index]
         victim_way = lru.victim()
         if victim_way is None:
             return None, True
-        evicted = self._tags[set_index][victim_way]
-        if evicted is not None:
-            self._bump(f"{self.config.name}.evictions")
+        set_tags = self._tags[set_index]
+        evicted = set_tags[victim_way]
+        if evicted is not None and self.stats_enabled:
+            self._stats.bump(self._evictions_name)
             # A victim is never locked, so no lock bookkeeping to clean up.
-        self._tags[set_index][victim_way] = self.line_number(address)
+        set_tags[victim_way] = line
         lru.touch(victim_way)
         return evicted, False
 

@@ -45,10 +45,19 @@ class LruState:
         return len(self._order)
 
     def touch(self, way: int) -> None:
-        """Mark ``way`` as the most recently used."""
-        self._validate_way(way)
-        self._order.remove(way)
-        self._order.insert(0, way)
+        """Mark ``way`` as the most recently used.
+
+        This is the hottest method of the cache model, so the bounds check
+        rides on the list search itself (a zero-cost ``try`` in the common
+        case) instead of a separate validation pass per access.
+        """
+        order = self._order
+        try:
+            order.remove(way)
+        except ValueError:
+            self._validate_way(way)
+            raise
+        order.insert(0, way)
 
     def lock(self, way: int) -> None:
         """Protect ``way`` against replacement."""

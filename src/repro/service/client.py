@@ -118,6 +118,7 @@ class ServiceClient:
         instructions: Optional[int] = None,
         seed: Optional[int] = None,
         full: bool = False,
+        engine: Optional[str] = None,
     ) -> SubmitReceipt:
         """``POST /v1/jobs``: submit a figure campaign or an explicit batch."""
         request = JobRequest(
@@ -126,6 +127,7 @@ class ServiceClient:
             instructions=instructions,
             seed=seed,
             full=full,
+            engine=engine,
         )
         status, data = self._request(
             "POST", "/v1/jobs", wire_envelope("job_request", request.to_dict())
@@ -190,10 +192,16 @@ class ServiceClient:
         instructions: Optional[int] = None,
         seed: Optional[int] = None,
         full: bool = False,
+        engine: Optional[str] = None,
         timeout: float = 600.0,
     ) -> Dict[str, Any]:
         """Submit and wait: returns the completed status document."""
         receipt = self.submit(
-            figure=figure, cases=cases, instructions=instructions, seed=seed, full=full
+            figure=figure,
+            cases=cases,
+            instructions=instructions,
+            seed=seed,
+            full=full,
+            engine=engine,
         )
         return self.wait(receipt.job_id, timeout=timeout)

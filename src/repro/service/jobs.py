@@ -275,17 +275,21 @@ class JobManager:
         if hook is not None:
             hook(state)
         request = state.request
-        if request.figure is not None:
-            spec = experiment_by_name(request.figure)
-            context = campaign_context(
-                full=request.full,
-                instructions=request.instructions,
-                seed=request.seed,
-                runner=runner,
-            )
-            return to_jsonable(spec.run(context))
-        batch = runner.run_batch(list(request.cases))
-        return {key: result.to_dict() for key, result in batch.items()}
+        try:
+            if request.figure is not None:
+                spec = experiment_by_name(request.figure)
+                context = campaign_context(
+                    full=request.full,
+                    instructions=request.instructions,
+                    seed=request.seed,
+                    runner=runner,
+                    engine=request.engine,
+                )
+                return to_jsonable(spec.run(context))
+            batch = runner.run_batch(list(request.cases))
+            return {key: result.to_dict() for key, result in batch.items()}
+        finally:
+            runner.close()
 
     # -- lookups -------------------------------------------------------
 

@@ -42,6 +42,7 @@ from repro.common.stats import StatsRegistry
 from repro.core.conventional import ConventionalLSQ, IdealCentralLSQ
 from repro.core.elsq import EpochBasedLSQ
 from repro.fmc.processor import FMCProcessor
+from repro.sim.engine import DEFAULT_ENGINE
 from repro.uarch.ooo_core import OutOfOrderCore
 
 
@@ -63,7 +64,16 @@ class LSQKind(enum.Enum):
 
 @dataclass(frozen=True)
 class MachineConfig:
-    """A fully specified machine: core, memory hierarchy and LSQ organisation."""
+    """A fully specified machine: core, memory hierarchy and LSQ organisation.
+
+    ``engine`` selects the simulation engine that drives this machine over a
+    trace (:mod:`repro.sim.engine`): the optimised ``fast`` loop by default,
+    or ``reference`` for the original processor-model walk.  The two are
+    bit-identical (enforced by ``tests/differential/``), but the engine is
+    still part of the machine's identity -- and therefore of every job's
+    content address -- so cached results always record which loop produced
+    them.
+    """
 
     name: str
     kind: MachineKind
@@ -73,6 +83,13 @@ class MachineConfig:
     elsq: ELSQConfig = field(default_factory=ELSQConfig)
     hierarchy: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
     svw: SVWConfig = field(default_factory=SVWConfig)
+    engine: str = DEFAULT_ENGINE
+
+    def __post_init__(self) -> None:
+        if not self.engine or not isinstance(self.engine, str):
+            raise ConfigurationError(
+                f"machine {self.name!r}: engine must be a non-empty string"
+            )
 
     def build(self, stats: Optional[StatsRegistry] = None) -> Union[OutOfOrderCore, FMCProcessor]:
         """Construct the processor model described by this configuration."""
@@ -138,6 +155,10 @@ class MachineConfig:
     def with_elsq(self, elsq: ELSQConfig, name: Optional[str] = None) -> "MachineConfig":
         """Return a copy with a different ELSQ configuration."""
         return replace(self, elsq=elsq, name=name if name else self.name)
+
+    def with_engine(self, engine: str) -> "MachineConfig":
+        """Return a copy driven by a different simulation engine."""
+        return replace(self, engine=engine)
 
     def renamed(self, name: str) -> "MachineConfig":
         """Return a copy under a different name."""

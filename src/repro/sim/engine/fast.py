@@ -1,0 +1,835 @@
+"""The ``fast`` engine: an optimised, bit-identical simulation drive loop.
+
+The reference per-instruction walks (:meth:`OutOfOrderCore.run`,
+:meth:`FMCProcessor.run`) are written for clarity: every structural resource
+is an object with methods, every constraint a method call, every
+configuration value an attribute chain.  That style costs real time in pure
+Python -- profiling shows the per-cycle hot path spending most of its time in
+attribute lookups, small-object churn and, above all, the functional cache
+warm-up replay that precedes every timed run.
+
+This module re-implements the *same algorithms* with the interpreter in mind:
+
+* **Memoised region warm-up.**  The warm-up's final tag/LRU state is a pure
+  function of the trace's region footprints and the cache geometry, so it is
+  computed once per process (using the reference
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_up_regions` code, which
+  guarantees identical state) and replayed into later hierarchies as a plain
+  array copy.  This removes the single largest cost of a short simulation.
+* **Scalar frontier allocators.**  Fetch, commit, migration and per-engine
+  issue bandwidth are requested in non-decreasing cycle order, so the
+  reference allocator's per-cycle dictionary degenerates to a
+  ``(cycle, used)`` pair that jumps straight to the next free cycle.
+* **Preallocated ring buffers.**  Occupancy windows (ROB, load/store queues,
+  the epoch pool) become fixed-size lists with a wrap index instead of
+  deques, and the register scoreboard becomes a flat list indexed by
+  architectural register number instead of a dictionary.
+* **Hoisted configuration lookups.**  Every per-instruction attribute chain
+  (``cfg.fetch_width``, ``stats.bump`` ...) is bound to a local once, outside
+  the loop.
+
+The LSQ policies, the memory hierarchy and the statistics registry are the
+*same objects* the reference engine drives -- only the loop around them is
+rewritten -- and the loop reproduces the reference computations expression
+for expression.  ``tests/differential/`` asserts the result (every counter,
+histogram bin, cycle count and derived float) is bit-identical to the
+``reference`` engine across workload families, suites, seeds and fuzzed
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import Locality, LoadRecord, StoreRecord
+from repro.fmc.processor import FMCProcessor
+from repro.fmc.processor import _WRONG_PATH_CAP as _FMC_WRONG_PATH_CAP
+from repro.isa.instruction import NUM_ARCH_REGISTERS, InstrClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.uarch.ooo_core import (
+    _LOCALITY_HISTOGRAM_BIN,
+    _LOCALITY_HISTOGRAM_BINS,
+    _VIOLATION_EXTRA_PENALTY,
+    OutOfOrderCore,
+)
+from repro.uarch.result import CoreResult
+
+# ----------------------------------------------------------------------
+# Memoised functional cache warm-up
+# ----------------------------------------------------------------------
+
+#: (regions, l1 config, l2 config) -> captured post-warm-up cache state.
+#: The warm-up never locks lines and records no statistics, so tags and LRU
+#: recency order fully describe the state.
+_WARM_MEMO: Dict[Tuple, Tuple] = {}
+_WARM_MEMO_LIMIT = 32
+
+
+def clear_warm_memo() -> None:
+    """Drop the per-process warm-up memo.
+
+    Cold-start timing harnesses call this (next to
+    :func:`repro.exp.runner.clear_trace_memo`) so a measured run pays the
+    full warm-up computation instead of reusing a previous run's state.
+    """
+    _WARM_MEMO.clear()
+
+
+def _capture_cache(cache) -> Tuple:
+    return (
+        tuple(tuple(row) for row in cache._tags),
+        tuple(tuple(lru._order) for lru in cache._lru),
+    )
+
+
+def _restore_cache(cache, state: Tuple) -> None:
+    tags, orders = state
+    cache._tags = [list(row) for row in tags]
+    lrus = cache._lru
+    for index, order in enumerate(orders):
+        lrus[index]._order = list(order)
+
+
+def warm_hierarchy(hierarchy: MemoryHierarchy, regions) -> None:
+    """Bring ``hierarchy`` to the post-warm-up state for ``regions``.
+
+    The first request for a (regions, geometry) pair runs the reference
+    warm-up -- so the resulting state is identical by construction -- and
+    captures the outcome; later requests restore the captured arrays into the
+    fresh hierarchy, skipping the replay entirely.
+    """
+    key = (regions, hierarchy.config.l1, hierarchy.config.l2)
+    state = _WARM_MEMO.get(key)
+    if state is None:
+        hierarchy.warm_up_regions(regions)
+        if len(_WARM_MEMO) >= _WARM_MEMO_LIMIT:
+            _WARM_MEMO.clear()
+        _WARM_MEMO[key] = (_capture_cache(hierarchy.l1), _capture_cache(hierarchy.l2))
+        return
+    _restore_cache(hierarchy.l1, state[0])
+    _restore_cache(hierarchy.l2, state[1])
+
+
+# ----------------------------------------------------------------------
+# Fast drive loop: conventional out-of-order core
+# ----------------------------------------------------------------------
+
+
+def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
+    """Drive ``core`` over ``trace`` -- bit-identical to ``core.run(trace)``."""
+    cfg = core.config
+    stats = core.stats
+    policy = core.policy
+    if core.warm_caches and trace.regions:
+        warm_hierarchy(core.hierarchy, trace.regions)
+    load_hist = stats.histogram(
+        "decode_to_address.loads", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
+    )
+    store_hist = stats.histogram(
+        "decode_to_address.stores", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
+    )
+    record_load_hist = load_hist.record
+    record_store_hist = store_hist.record
+    bump = stats.bump
+    load_issued = policy.load_issued
+    store_issued = policy.store_issued
+    load_committed = policy.load_committed
+    store_committed = policy.store_committed
+
+    fetch_width = cfg.fetch_width
+    issue_width = cfg.issue_width
+    commit_width = cfg.commit_width
+    ports_width = core.hierarchy.config.cache_ports
+    decode_latency = cfg.decode_latency
+    branch_latency = cfg.branch_latency
+    int_alu_latency = cfg.int_alu_latency
+    fp_alu_latency = cfg.fp_alu_latency
+    mispredict_penalty = cfg.branch_mispredict_penalty
+    rob_cap = cfg.rob_size
+
+    LOAD = InstrClass.LOAD
+    STORE = InstrClass.STORE
+    BRANCH = InstrClass.BRANCH
+    FP_ALU = InstrClass.FP_ALU
+    HIGH = Locality.HIGH
+
+    # Scalar frontier allocators (fetch/commit requests are non-decreasing).
+    fetch_cur, fetch_used = -1, 0
+    commit_cur, commit_used = -1, 0
+    # Demand-keyed allocators (issue order follows operand readiness).
+    issue_used: Dict[int, int] = {}
+    ports_used: Dict[int, int] = {}
+    # Preallocated ring buffers replacing the occupancy-window deques.
+    rob_buf = [0] * rob_cap
+    rob_n = rob_i = 0
+    lq_cap = cfg.load_queue_entries
+    lq_buf = [0] * lq_cap
+    lq_n = lq_i = 0
+    sq_cap = cfg.store_queue_entries
+    sq_buf = [0] * sq_cap
+    sq_n = sq_i = 0
+
+    regs = [0] * NUM_ARCH_REGISTERS
+    fetch_frontier = 0
+    commit_frontier = 0
+    fetch_resume_cycle = 0
+    num_loads = 0
+    num_stores = 0
+    wrong_path_estimate = 0.0
+    last_commit_cycle = 0
+
+    for instruction in trace:
+        iclass = instruction.iclass
+        is_load = iclass is LOAD
+        is_store = iclass is STORE
+
+        # ---------------- fetch / decode ----------------
+        desired = fetch_resume_cycle
+        if fetch_frontier > desired:
+            desired = fetch_frontier
+        constraint = rob_buf[rob_i] if rob_n == rob_cap else 0
+        if constraint > desired:
+            desired = constraint
+        if is_load:
+            constraint = lq_buf[lq_i] if lq_n == lq_cap else 0
+            if constraint > desired:
+                desired = constraint
+        elif is_store:
+            constraint = sq_buf[sq_i] if sq_n == sq_cap else 0
+            if constraint > desired:
+                desired = constraint
+        if desired > fetch_cur:
+            fetch_cur, fetch_used = desired, 1
+        elif fetch_used < fetch_width:
+            fetch_used += 1
+        else:
+            fetch_cur += 1
+            fetch_used = 1
+        fetch_cycle = fetch_cur
+        fetch_frontier = fetch_cycle
+        decode_cycle = fetch_cycle + decode_latency
+
+        # ---------------- operand readiness ----------------
+        srcs = instruction.srcs
+        if is_store and srcs:
+            address_srcs = srcs[:-1] or srcs
+            data_srcs = srcs[-1:]
+        else:
+            address_srcs = srcs
+            data_srcs = ()
+        addr_ready = decode_cycle
+        for src in address_srcs:
+            ready = regs[src]
+            if ready > addr_ready:
+                addr_ready = ready
+        data_ready = addr_ready
+        for src in data_srcs:
+            ready = regs[src]
+            if ready > data_ready:
+                data_ready = ready
+
+        # ---------------- issue and execute ----------------
+        violation = False
+        squash_penalty = 0
+        cycle = addr_ready
+        while issue_used.get(cycle, 0) >= issue_width:
+            cycle += 1
+        issue_used[cycle] = issue_used.get(cycle, 0) + 1
+        issue_cycle = cycle
+        pending_load_record: Optional[LoadRecord] = None
+        if is_load:
+            num_loads += 1
+            cycle = issue_cycle
+            while ports_used.get(cycle, 0) >= ports_width:
+                cycle += 1
+            ports_used[cycle] = ports_used.get(cycle, 0) + 1
+            issue_cycle = cycle
+            record_load_hist(issue_cycle - decode_cycle)
+            pending_load_record = LoadRecord(
+                seq=instruction.seq,
+                address=instruction.address or 0,
+                size=instruction.size,
+                decode_cycle=decode_cycle,
+                issue_cycle=issue_cycle,
+                locality=HIGH,
+            )
+            outcome = load_issued(pending_load_record)
+            latency = outcome.latency
+            complete = issue_cycle + (latency if latency > 1 else 1)
+            violation = outcome.violation
+            squash_penalty = outcome.squash_penalty
+        elif is_store:
+            num_stores += 1
+            record_store_hist(issue_cycle - decode_cycle)
+            complete = issue_cycle if issue_cycle >= data_ready else data_ready
+        elif iclass is BRANCH:
+            complete = issue_cycle + branch_latency
+        else:
+            latency = instruction.latency
+            if latency is None:
+                latency = fp_alu_latency if iclass is FP_ALU else int_alu_latency
+            complete = issue_cycle + latency
+
+        dest = instruction.dest
+        if dest is not None:
+            regs[dest] = complete
+
+        # ---------------- commit ----------------
+        commit_ready = complete if complete >= commit_frontier else commit_frontier
+        if commit_ready > commit_cur:
+            commit_cur, commit_used = commit_ready, 1
+        elif commit_used < commit_width:
+            commit_used += 1
+        else:
+            commit_cur += 1
+            commit_used = 1
+        commit_cycle = commit_cur
+
+        if is_store:
+            store_record = StoreRecord(
+                seq=instruction.seq,
+                address=instruction.address or 0,
+                size=instruction.size,
+                decode_cycle=decode_cycle,
+                addr_ready_cycle=issue_cycle,
+                data_ready_cycle=issue_cycle if issue_cycle >= data_ready else data_ready,
+                commit_cycle=commit_cycle,
+                locality=HIGH,
+            )
+            store_outcome = store_issued(store_record)
+            if store_outcome.squash_penalty > squash_penalty:
+                squash_penalty = store_outcome.squash_penalty
+            store_committed(store_record)
+        elif pending_load_record is not None:
+            pending_load_record.commit_cycle = commit_cycle
+            commit_extra = load_committed(pending_load_record)
+            if commit_extra.extra_latency:
+                commit_cycle += commit_extra.extra_latency
+
+        if commit_cycle > commit_frontier:
+            commit_frontier = commit_cycle
+        if commit_cycle > last_commit_cycle:
+            last_commit_cycle = commit_cycle
+        if rob_n == rob_cap:
+            rob_buf[rob_i] = commit_cycle
+            rob_i += 1
+            if rob_i == rob_cap:
+                rob_i = 0
+        else:
+            rob_buf[rob_n] = commit_cycle
+            rob_n += 1
+        if is_load:
+            if lq_n == lq_cap:
+                lq_buf[lq_i] = commit_cycle
+                lq_i += 1
+                if lq_i == lq_cap:
+                    lq_i = 0
+            else:
+                lq_buf[lq_n] = commit_cycle
+                lq_n += 1
+        elif is_store:
+            if sq_n == sq_cap:
+                sq_buf[sq_i] = commit_cycle
+                sq_i += 1
+                if sq_i == sq_cap:
+                    sq_i = 0
+            else:
+                sq_buf[sq_n] = commit_cycle
+                sq_n += 1
+
+        # ---------------- control / squash handling ----------------
+        if iclass is BRANCH and instruction.mispredicted:
+            resolve_cycle = complete + mispredict_penalty
+            if resolve_cycle > fetch_resume_cycle:
+                fetch_resume_cycle = resolve_cycle
+            bump("core.branch_mispredicts")
+            exposed = complete - fetch_cycle
+            if exposed < 0:
+                exposed = 0
+            wrong_path = fetch_width * exposed
+            if wrong_path > rob_cap:
+                wrong_path = rob_cap
+            wrong_path_estimate += wrong_path
+        if violation:
+            bump("core.violation_squashes")
+            resume = complete + mispredict_penalty + _VIOLATION_EXTRA_PENALTY
+            if resume > fetch_resume_cycle:
+                fetch_resume_cycle = resume
+        if squash_penalty:
+            resume = issue_cycle + squash_penalty
+            if resume > fetch_resume_cycle:
+                fetch_resume_cycle = resume
+
+    committed = len(trace)
+    total_cycles = max(1, last_commit_cycle)
+    core._account_wrong_path(wrong_path_estimate, committed, num_loads, num_stores)
+    policy.finalize(total_cycles, committed)
+    stats.counter("core.cycles").add(total_cycles)
+    stats.counter("core.committed_instructions").add(committed)
+
+    return CoreResult(
+        trace_name=trace.name,
+        config_name=core.name,
+        cycles=total_cycles,
+        committed_instructions=committed,
+        stats=stats.snapshot(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast drive loop: FMC large-window processor
+# ----------------------------------------------------------------------
+
+
+def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
+    """Drive ``processor`` over ``trace`` -- bit-identical to ``processor.run``."""
+    cp = processor.config.cache_processor
+    me = processor.config.memory_engine
+    stats = processor.stats
+    policy = processor.policy
+    threshold = processor.elsq_config.locality_threshold_cycles
+    if processor.warm_caches and trace.regions:
+        warm_hierarchy(processor.hierarchy, trace.regions)
+
+    load_hist = stats.histogram(
+        "decode_to_address.loads", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
+    )
+    store_hist = stats.histogram(
+        "decode_to_address.stores", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
+    )
+    record_load_hist = load_hist.record
+    record_store_hist = store_hist.record
+    bump = stats.bump
+    counter = stats.counter
+    load_issued = policy.load_issued
+    store_issued = policy.store_issued
+    load_committed = policy.load_committed
+    store_committed = policy.store_committed
+    epoch_opened = policy.epoch_opened
+    epoch_committed = policy.epoch_committed
+
+    fetch_width = cp.fetch_width
+    issue_width = cp.issue_width
+    commit_width = cp.commit_width
+    ports_width = processor.hierarchy.config.cache_ports
+    decode_latency = cp.decode_latency
+    branch_latency = cp.branch_latency
+    int_alu_latency = cp.int_alu_latency
+    fp_alu_latency = cp.fp_alu_latency
+    mispredict_penalty = cp.branch_mispredict_penalty
+    rob_cap = cp.rob_size
+    me_max_instructions = me.max_instructions
+    me_max_loads = me.max_loads
+    me_max_stores = me.max_stores
+    me_issue_width = me.issue_width
+    cp_to_mp_latency = processor.config.interconnect.cp_to_mp_latency
+    disambiguation = processor.elsq_config.disambiguation
+    restricts_sac = disambiguation.restricts_store_address_calculation
+    restricts_lac = disambiguation.restricts_load_address_calculation
+
+    LOAD = InstrClass.LOAD
+    STORE = InstrClass.STORE
+    BRANCH = InstrClass.BRANCH
+    FP_ALU = InstrClass.FP_ALU
+    HIGH = Locality.HIGH
+    LOW = Locality.LOW
+
+    # Scalar frontier allocators (fetch / commit / migration are monotonic).
+    fetch_cur, fetch_used = -1, 0
+    commit_cur, commit_used = -1, 0
+    migrate_cur, migrate_used = -1, 0
+    # Demand-keyed allocators.
+    cp_issue_used: Dict[int, int] = {}
+    ports_used: Dict[int, int] = {}
+    #: epoch id -> [current issue cycle, slots used, issue frontier] -- each
+    #: memory engine's issue bandwidth is requested in non-decreasing order.
+    epoch_issue: Dict[int, List[int]] = {}
+    # Preallocated ring buffers.
+    rob_buf = [0] * rob_cap
+    rob_n = rob_i = 0
+    hl_lq_cap = processor.elsq_config.hl_load_entries
+    hl_lq_buf = [0] * hl_lq_cap
+    hl_lq_n = hl_lq_i = 0
+    hl_sq_cap = processor.elsq_config.hl_store_entries
+    hl_sq_buf = [0] * hl_sq_cap
+    hl_sq_n = hl_sq_i = 0
+    pool_cap = processor.config.num_memory_engines
+    pool_buf = [0] * pool_cap
+    pool_n = pool_i = 0
+
+    regs = [0] * NUM_ARCH_REGISTERS
+    fetch_frontier = 0
+    commit_frontier = 0
+    migration_frontier = 0
+    fetch_resume_cycle = 0
+    migration_block_until = 0
+    mp_active_until = 0
+    ll_active_cycles = 0
+    epoch_live_cycle_sum = 0
+    next_epoch_id = 0
+    # Current epoch book, inlined into scalars (None id = no open epoch).
+    cur_epoch_id: Optional[int] = None
+    cur_open = 0
+    cur_instructions = 0
+    cur_loads = 0
+    cur_stores = 0
+    cur_last_commit = 0
+    num_loads = 0
+    num_stores = 0
+    wrong_path_estimate = 0.0
+    last_commit_cycle = 0
+
+    for instruction in trace:
+        iclass = instruction.iclass
+        is_load = iclass is LOAD
+        is_store = iclass is STORE
+
+        # ---------------- fetch / decode ----------------
+        desired = fetch_resume_cycle
+        if fetch_frontier > desired:
+            desired = fetch_frontier
+        constraint = rob_buf[rob_i] if rob_n == rob_cap else 0
+        if constraint > desired:
+            desired = constraint
+        if is_load:
+            constraint = hl_lq_buf[hl_lq_i] if hl_lq_n == hl_lq_cap else 0
+            if constraint > desired:
+                desired = constraint
+        elif is_store:
+            constraint = hl_sq_buf[hl_sq_i] if hl_sq_n == hl_sq_cap else 0
+            if constraint > desired:
+                desired = constraint
+        if desired > fetch_cur:
+            fetch_cur, fetch_used = desired, 1
+        elif fetch_used < fetch_width:
+            fetch_used += 1
+        else:
+            fetch_cur += 1
+            fetch_used = 1
+        fetch_cycle = fetch_cur
+        fetch_frontier = fetch_cycle
+        decode_cycle = fetch_cycle + decode_latency
+
+        # ---------------- operand readiness ----------------
+        srcs = instruction.srcs
+        if is_store and srcs:
+            address_srcs = srcs[:-1] or srcs
+            data_srcs = srcs[-1:]
+        else:
+            address_srcs = srcs
+            data_srcs = ()
+        addr_ready = decode_cycle
+        for src in address_srcs:
+            ready = regs[src]
+            if ready > addr_ready:
+                addr_ready = ready
+        data_ready = addr_ready
+        for src in data_srcs:
+            ready = regs[src]
+            if ready > data_ready:
+                data_ready = ready
+
+        # ---------------- locality classification ----------------
+        low_locality = addr_ready - decode_cycle > threshold
+        migrates = decode_cycle < mp_active_until or low_locality
+
+        # ---------------- epoch assignment / migration ----------------
+        epoch_id: Optional[int] = None
+        migration_cycle: Optional[int] = None
+        if migrates:
+            if (
+                cur_epoch_id is None
+                or cur_instructions >= me_max_instructions
+                or (is_load and cur_loads >= me_max_loads)
+                or (is_store and cur_stores >= me_max_stores)
+            ):
+                if cur_epoch_id is not None:
+                    epoch_commit = cur_last_commit if cur_last_commit >= cur_open else cur_open
+                    if pool_n == pool_cap:
+                        pool_buf[pool_i] = epoch_commit
+                        pool_i += 1
+                        if pool_i == pool_cap:
+                            pool_i = 0
+                    else:
+                        pool_buf[pool_n] = epoch_commit
+                        pool_n += 1
+                    epoch_committed(cur_epoch_id, epoch_commit)
+                    epoch_live_cycle_sum += epoch_commit - cur_open
+                pool_ready = pool_buf[pool_i] if pool_n == pool_cap else 0
+                if pool_ready > decode_cycle:
+                    counter("fmc.migration_stall_cycles").add(pool_ready - decode_cycle)
+                    bump("fmc.migration_stalls")
+                cur_epoch_id = next_epoch_id
+                cur_open = decode_cycle if decode_cycle >= pool_ready else pool_ready
+                cur_instructions = 0
+                cur_loads = 0
+                cur_stores = 0
+                cur_last_commit = 0
+                epoch_opened(cur_epoch_id, cur_open)
+                next_epoch_id += 1
+            epoch_id = cur_epoch_id
+            migration_desired = decode_cycle + cp_to_mp_latency
+            if migration_frontier > migration_desired:
+                migration_desired = migration_frontier
+            if cur_open > migration_desired:
+                migration_desired = cur_open
+            if (is_load or is_store) and migration_block_until > migration_desired:
+                migration_desired = migration_block_until
+            if migration_desired > migrate_cur:
+                migrate_cur, migrate_used = migration_desired, 1
+            elif migrate_used < fetch_width:
+                migrate_used += 1
+            else:
+                migrate_cur += 1
+                migrate_used = 1
+            migration_cycle = migrate_cur
+            migration_frontier = migration_cycle
+            cur_instructions += 1
+            if is_load:
+                cur_loads += 1
+            elif is_store:
+                cur_stores += 1
+            bump("fmc.migrated_instructions")
+
+            if low_locality and is_store and restricts_sac:
+                if addr_ready > migration_block_until:
+                    migration_block_until = addr_ready
+                bump("fmc.rsac_migration_blocks")
+            if low_locality and is_load and restricts_lac:
+                if addr_ready > migration_block_until:
+                    migration_block_until = addr_ready
+                bump("fmc.rlac_migration_blocks")
+
+        # ---------------- issue and execute ----------------
+        violation = False
+        squash_penalty = 0
+        insertion_stall = 0
+        pending_load_record: Optional[LoadRecord] = None
+
+        if low_locality and epoch_id is not None:
+            engine = epoch_issue.get(epoch_id)
+            if engine is None:
+                engine = [-1, 0, 0]
+                epoch_issue[epoch_id] = engine
+            base = addr_ready
+            migration_base = migration_cycle or addr_ready
+            if migration_base > base:
+                base = migration_base
+            if engine[2] > base:
+                base = engine[2]
+            if base > engine[0]:
+                engine[0] = base
+                engine[1] = 1
+            elif engine[1] < me_issue_width:
+                engine[1] += 1
+            else:
+                engine[0] += 1
+                engine[1] = 1
+            issue_cycle = engine[0]
+            engine[2] = issue_cycle
+        else:
+            cycle = addr_ready
+            while cp_issue_used.get(cycle, 0) >= issue_width:
+                cycle += 1
+            cp_issue_used[cycle] = cp_issue_used.get(cycle, 0) + 1
+            issue_cycle = cycle
+            if is_load:
+                cycle = issue_cycle
+                while ports_used.get(cycle, 0) >= ports_width:
+                    cycle += 1
+                ports_used[cycle] = ports_used.get(cycle, 0) + 1
+                issue_cycle = cycle
+
+        if is_load:
+            num_loads += 1
+            record_load_hist(issue_cycle - decode_cycle)
+            pending_load_record = LoadRecord(
+                seq=instruction.seq,
+                address=instruction.address or 0,
+                size=instruction.size,
+                decode_cycle=decode_cycle,
+                issue_cycle=issue_cycle,
+                locality=LOW if low_locality else HIGH,
+                epoch_id=epoch_id,
+                migration_cycle=migration_cycle,
+            )
+            outcome = load_issued(pending_load_record)
+            latency = outcome.latency
+            complete = issue_cycle + (latency if latency > 1 else 1)
+            violation = outcome.violation
+            squash_penalty = outcome.squash_penalty
+        elif is_store:
+            num_stores += 1
+            record_store_hist(issue_cycle - decode_cycle)
+            complete = issue_cycle if issue_cycle >= data_ready else data_ready
+        elif iclass is BRANCH:
+            complete = issue_cycle + branch_latency
+        else:
+            latency = instruction.latency
+            if latency is None:
+                latency = fp_alu_latency if iclass is FP_ALU else int_alu_latency
+            complete = issue_cycle + latency
+
+        dest = instruction.dest
+        if dest is not None:
+            regs[dest] = complete
+
+        # ---------------- commit ----------------
+        commit_ready = complete if complete >= commit_frontier else commit_frontier
+        if commit_ready > commit_cur:
+            commit_cur, commit_used = commit_ready, 1
+        elif commit_used < commit_width:
+            commit_used += 1
+        else:
+            commit_cur += 1
+            commit_used = 1
+        commit_cycle = commit_cur
+
+        if is_store:
+            store_record = StoreRecord(
+                seq=instruction.seq,
+                address=instruction.address or 0,
+                size=instruction.size,
+                decode_cycle=decode_cycle,
+                addr_ready_cycle=issue_cycle,
+                data_ready_cycle=issue_cycle if issue_cycle >= data_ready else data_ready,
+                commit_cycle=commit_cycle,
+                locality=LOW if low_locality else HIGH,
+                epoch_id=epoch_id,
+                migration_cycle=migration_cycle,
+            )
+            store_outcome = store_issued(store_record)
+            if store_outcome.squash_penalty > squash_penalty:
+                squash_penalty = store_outcome.squash_penalty
+            insertion_stall = store_outcome.insertion_stall
+            store_committed(store_record)
+        elif pending_load_record is not None:
+            pending_load_record.commit_cycle = commit_cycle
+            commit_extra = load_committed(pending_load_record)
+            if commit_extra.extra_latency:
+                commit_cycle += commit_extra.extra_latency
+
+        if commit_cycle > commit_frontier:
+            commit_frontier = commit_cycle
+        if commit_cycle > last_commit_cycle:
+            last_commit_cycle = commit_cycle
+
+        cp_leave_cycle = migration_cycle if migration_cycle is not None else commit_cycle
+        if rob_n == rob_cap:
+            rob_buf[rob_i] = cp_leave_cycle
+            rob_i += 1
+            if rob_i == rob_cap:
+                rob_i = 0
+        else:
+            rob_buf[rob_n] = cp_leave_cycle
+            rob_n += 1
+        if is_load:
+            if hl_lq_n == hl_lq_cap:
+                hl_lq_buf[hl_lq_i] = cp_leave_cycle
+                hl_lq_i += 1
+                if hl_lq_i == hl_lq_cap:
+                    hl_lq_i = 0
+            else:
+                hl_lq_buf[hl_lq_n] = cp_leave_cycle
+                hl_lq_n += 1
+        elif is_store:
+            if hl_sq_n == hl_sq_cap:
+                hl_sq_buf[hl_sq_i] = cp_leave_cycle
+                hl_sq_i += 1
+                if hl_sq_i == hl_sq_cap:
+                    hl_sq_i = 0
+            else:
+                hl_sq_buf[hl_sq_n] = cp_leave_cycle
+                hl_sq_n += 1
+
+        if cur_epoch_id is not None and epoch_id == cur_epoch_id:
+            if commit_cycle > cur_last_commit:
+                cur_last_commit = commit_cycle
+
+        # ---------------- Memory Processor activity ----------------
+        if migrates and migration_cycle is not None:
+            interval_start = (
+                migration_cycle if migration_cycle >= mp_active_until else mp_active_until
+            )
+            if commit_cycle > interval_start:
+                ll_active_cycles += commit_cycle - interval_start
+                mp_active_until = commit_cycle
+
+        # ---------------- control / squash handling ----------------
+        if iclass is BRANCH and instruction.mispredicted:
+            resolve_cycle = complete + mispredict_penalty
+            if resolve_cycle > fetch_resume_cycle:
+                fetch_resume_cycle = resolve_cycle
+            bump("core.branch_mispredicts")
+            exposed = complete - fetch_cycle
+            if exposed < 0:
+                exposed = 0
+            wrong_path = fetch_width * exposed
+            if wrong_path > _FMC_WRONG_PATH_CAP:
+                wrong_path = _FMC_WRONG_PATH_CAP
+            wrong_path_estimate += wrong_path
+        if violation:
+            bump("core.violation_squashes")
+            resume = complete + mispredict_penalty + _VIOLATION_EXTRA_PENALTY
+            if resume > fetch_resume_cycle:
+                fetch_resume_cycle = resume
+        if squash_penalty:
+            resume = issue_cycle + squash_penalty
+            if resume > fetch_resume_cycle:
+                fetch_resume_cycle = resume
+        if insertion_stall:
+            blocked = issue_cycle + insertion_stall
+            if blocked > migration_block_until:
+                migration_block_until = blocked
+
+    if cur_epoch_id is not None:
+        epoch_commit = cur_last_commit if cur_last_commit >= cur_open else cur_open
+        if pool_n == pool_cap:
+            pool_buf[pool_i] = epoch_commit
+            pool_i += 1
+            if pool_i == pool_cap:
+                pool_i = 0
+        else:
+            pool_buf[pool_n] = epoch_commit
+            pool_n += 1
+        epoch_committed(cur_epoch_id, epoch_commit)
+        epoch_live_cycle_sum += epoch_commit - cur_open
+
+    committed = len(trace)
+    total_cycles = max(1, last_commit_cycle)
+    processor._account_wrong_path(wrong_path_estimate, committed, num_loads, num_stores)
+    policy.finalize(total_cycles, committed)
+    stats.counter("core.cycles").add(total_cycles)
+    stats.counter("core.committed_instructions").add(committed)
+    stats.counter("fmc.ll_active_cycles").add(min(ll_active_cycles, total_cycles))
+    stats.counter("fmc.epochs_allocated").add(next_epoch_id)
+
+    high_locality_fraction = 1.0 - min(ll_active_cycles, total_cycles) / total_cycles
+    mean_allocated_epochs = (
+        epoch_live_cycle_sum / ll_active_cycles if ll_active_cycles > 0 else 0.0
+    )
+
+    return CoreResult(
+        trace_name=trace.name,
+        config_name=processor.name,
+        cycles=total_cycles,
+        committed_instructions=committed,
+        stats=stats.snapshot(),
+        high_locality_fraction=high_locality_fraction,
+        mean_allocated_epochs=mean_allocated_epochs,
+        extra={"epochs_opened": float(next_epoch_id)},
+    )
+
+
+class FastEngine:
+    """Optimised drive loop over the reference processor and LSQ objects."""
+
+    name = "fast"
+
+    def run(self, machine, trace: Trace) -> CoreResult:
+        """Simulate ``trace`` on ``machine`` with the optimised loop."""
+        processor = machine.build()
+        if isinstance(processor, FMCProcessor):
+            return run_fmc_fast(processor, trace)
+        return run_ooo_fast(processor, trace)

@@ -1,0 +1,21 @@
+"""The reference engine: the processor models' own per-instruction walk.
+
+This engine is the semantic ground truth of the library.  It contains no
+optimisation machinery at all: it builds the processor a
+:class:`~repro.sim.configs.MachineConfig` describes and calls its ``run``
+method, exactly as every caller did before engines existed.  The ``fast``
+engine (:mod:`repro.sim.engine.fast`) is verified bit-identical against this
+path by the differential suite (``tests/differential/``).
+"""
+
+from __future__ import annotations
+
+
+class ReferenceEngine:
+    """Build the configured processor and let it drive the trace itself."""
+
+    name = "reference"
+
+    def run(self, machine, trace):
+        """Simulate ``trace`` with the processor's original ``run`` loop."""
+        return machine.build().run(trace)

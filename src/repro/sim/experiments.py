@@ -39,6 +39,7 @@ bit-identical numbers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -79,7 +80,17 @@ class ExperimentContext:
     instructions_per_workload: int = DEFAULT_INSTRUCTIONS_PER_WORKLOAD
     seed: Optional[int] = None
     runner: Optional[ExperimentRunner] = None
+    #: Simulation engine override applied to every machine the campaign runs
+    #: (``None`` keeps each machine's own choice -- the fast engine unless a
+    #: configuration says otherwise).
+    engine: Optional[str] = None
     _trace_cache: Dict[str, List[Trace]] = field(default_factory=dict)
+
+    def _apply_engine(self, machine: MachineConfig) -> MachineConfig:
+        """Rebind ``machine`` to the campaign's engine override, if any."""
+        if self.engine is None or machine.engine == self.engine:
+            return machine
+        return machine.with_engine(self.engine)
 
     def suites(self) -> Dict[str, WorkloadSuite]:
         """The two suites keyed by their paper labels."""
@@ -96,6 +107,7 @@ class ExperimentContext:
 
     def run(self, machine: MachineConfig, suite: WorkloadSuite) -> SuiteResult:
         """Run one machine over one suite (through the runner when attached)."""
+        machine = self._apply_engine(machine)
         if self.runner is not None:
             return self.runner.run_suite(
                 machine, suite, self.instructions_per_workload, seed=self.seed
@@ -128,6 +140,11 @@ class ExperimentContext:
         suites = dict(self.suites())
         if extra_suites:
             suites.update(extra_suites)
+        if self.engine is not None:
+            cases = [
+                dataclasses.replace(case, machine=self._apply_engine(case.machine))
+                for case in cases
+            ]
         if self.runner is not None:
             return self.runner.run_cases(
                 cases, suites, self.instructions_per_workload, seed=self.seed
@@ -1033,6 +1050,7 @@ def campaign_context(
     instructions: Optional[int] = None,
     seed: Optional[int] = DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentContext:
     """Build the campaign context the CLI flags / a wire request describe.
 
@@ -1050,6 +1068,10 @@ def campaign_context(
     else:
         fp_suite, int_suite = quick_fp_suite(), quick_int_suite()
         default_instructions = QUICK_INSTRUCTIONS
+    if engine is not None:
+        from repro.sim.engine import engine_by_name
+
+        engine_by_name(engine)  # fail fast on unknown engine names
     return ExperimentContext(
         fp_suite=fp_suite,
         int_suite=int_suite,
@@ -1058,4 +1080,5 @@ def campaign_context(
         ),
         seed=seed,
         runner=runner,
+        engine=engine,
     )

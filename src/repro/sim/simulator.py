@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.errors import SimulationError
 from repro.isa.trace import Trace
 from repro.sim.configs import MachineConfig
+from repro.sim.engine import engine_by_name
 from repro.uarch.result import CoreResult
 from repro.workloads.base import SyntheticWorkload, WorkloadParameters
 from repro.workloads.suite import WorkloadSuite
@@ -95,9 +96,14 @@ class Simulator:
         self.machine = machine
 
     def run_trace(self, trace: Trace) -> CoreResult:
-        """Simulate a single trace on a freshly built processor instance."""
-        processor = self.machine.build()
-        return processor.run(trace)
+        """Simulate a single trace through the machine's simulation engine.
+
+        The engine (:attr:`MachineConfig.engine`) decides *how* the freshly
+        built processor walks the trace -- the original reference loop or the
+        optimised fast loop -- and the two are verified bit-identical by the
+        differential suite.
+        """
+        return engine_by_name(self.machine.engine).run(self.machine, trace)
 
     def run_workload(
         self,

@@ -1,0 +1,166 @@
+"""Property/fuzz tests for the engine pair.
+
+Deterministic pseudo-random draws (no external fuzzing dependency) sample
+machine configurations and workload descriptions inside their validation
+envelopes and push each draw through both engines, asserting
+
+* bit-identical results (the differential property, on configurations no
+  hand-written matrix would think of),
+* structural invariants that must hold for *any* valid machine: IPC bounded
+  by the commit width, every counter non-negative, cycle counts positive,
+  and
+* monotonicity: simulating a longer prefix of the same instruction stream
+  can never finish earlier than a shorter prefix.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.config import DisambiguationModel, ERTKind, LoadQueueScheme
+from repro.isa.trace import Trace
+from repro.sim.configs import MachineConfig, fmc_central, fmc_elsq, ooo_64, ooo_64_svw
+from repro.sim.engine import engine_by_name
+from repro.workloads.base import MemoryRegion, SyntheticWorkload, WorkloadParameters
+
+#: Number of fuzz draws; each runs reference + fast once.
+DRAWS = 10
+
+INSTRUCTIONS = 900
+
+
+def _draw_workload(rng: random.Random, index: int) -> WorkloadParameters:
+    """A random workload description bounded by the validation rules."""
+    load_fraction = rng.uniform(0.05, 0.4)
+    store_fraction = rng.uniform(0.02, min(0.3, 0.95 - load_fraction))
+    branch_fraction = rng.uniform(0.02, min(0.25, 0.98 - load_fraction - store_fraction))
+    regions = [
+        MemoryRegion(
+            name="hot",
+            size_bytes=rng.choice((8, 16, 32)) * 1024,
+            weight=rng.uniform(0.3, 0.8),
+            pattern=rng.choice(("stream", "random")),
+        ),
+        MemoryRegion(
+            name="far",
+            size_bytes=rng.choice((4, 8, 16)) * 1024 * 1024,
+            weight=rng.uniform(0.01, 0.2),
+            pattern=rng.choice(("stream", "random")),
+            is_far=True,
+        ),
+    ]
+    if rng.random() < 0.5:
+        regions.append(
+            MemoryRegion(
+                name="warm",
+                size_bytes=rng.choice((128, 256, 512)) * 1024,
+                weight=rng.uniform(0.05, 0.4),
+                pattern="random",
+            )
+        )
+    return WorkloadParameters(
+        name=f"fuzz_{index}",
+        load_fraction=load_fraction,
+        store_fraction=store_fraction,
+        branch_fraction=branch_fraction,
+        fp_fraction=rng.uniform(0.0, 0.3),
+        regions=tuple(regions),
+        chased_load_fraction=rng.uniform(0.0, 0.15),
+        chased_store_fraction=rng.uniform(0.0, 0.05),
+        forwarding_fraction=rng.uniform(0.0, 0.2),
+        forwarding_distance_mean=rng.uniform(2.0, 24.0),
+        miss_consumer_fraction=rng.uniform(0.0, 0.15),
+        dependence_distance_mean=rng.uniform(2.0, 12.0),
+        branch_mispredict_rate=rng.uniform(0.0, 0.08),
+        mispredict_depends_on_miss_fraction=rng.uniform(0.0, 0.4),
+        phase_length=rng.choice((0, 0, 500, 1500)),
+        memory_phase_fraction=rng.uniform(0.2, 0.8),
+        seed=rng.randrange(1_000),
+    )
+
+
+def _draw_machine(rng: random.Random) -> MachineConfig:
+    """A random valid machine: conventional, SVW, central or an ELSQ variant."""
+    choice = rng.random()
+    if choice < 0.15:
+        return ooo_64()
+    if choice < 0.3:
+        return ooo_64_svw(ssbf_index_bits=rng.choice((6, 8, 10, 12)))
+    if choice < 0.4:
+        return fmc_central()
+    load_queue_scheme = rng.choice(
+        (LoadQueueScheme.ASSOCIATIVE, LoadQueueScheme.SVW_REEXECUTION)
+    )
+    if load_queue_scheme is LoadQueueScheme.SVW_REEXECUTION:
+        # SVW removes the load queue; restricted LAC would remove it twice.
+        disambiguation = rng.choice(
+            (DisambiguationModel.FULL, DisambiguationModel.RESTRICTED_SAC)
+        )
+    else:
+        disambiguation = rng.choice(list(DisambiguationModel))
+    return fmc_elsq(
+        ert_kind=rng.choice((ERTKind.HASH, ERTKind.LINE)),
+        hash_bits=rng.choice((6, 8, 10, 12)),
+        store_queue_mirror=rng.random() < 0.5,
+        disambiguation=disambiguation,
+        load_queue_scheme=load_queue_scheme,
+        ssbf_index_bits=rng.choice((8, 10)),
+        epoch_load_entries=rng.choice((32, 64, 128)),
+        epoch_store_entries=rng.choice((16, 32, 64)),
+        num_epochs=rng.choice((2, 4, 8, 16, 32)),
+        locality_threshold_cycles=rng.choice((5, 15, 30, 60, 90)),
+    )
+
+
+def _commit_width(machine: MachineConfig) -> int:
+    from repro.sim.configs import MachineKind
+
+    if machine.kind is MachineKind.CONVENTIONAL:
+        return machine.core.commit_width
+    return machine.fmc.cache_processor.commit_width
+
+
+@pytest.mark.parametrize("draw", range(DRAWS))
+def test_fuzzed_configurations_are_identical_and_sane(draw: int) -> None:
+    rng = random.Random(0xE15C0 + draw)
+    workload = _draw_workload(rng, draw)
+    machine = _draw_machine(rng)
+    trace = SyntheticWorkload(workload, seed=rng.randrange(10_000)).generate(INSTRUCTIONS)
+
+    reference = engine_by_name("reference").run(machine, trace)
+    fast = engine_by_name("fast").run(machine, trace)
+
+    # Differential property: bit-identical results.
+    assert fast.to_dict() == reference.to_dict(), (workload.name, machine.name)
+
+    # Invariants that must hold for any valid machine/workload pair.
+    assert fast.cycles >= 1
+    assert fast.committed_instructions == INSTRUCTIONS
+    assert fast.ipc <= _commit_width(machine)
+    for name, value in fast.stats.counters.items():
+        assert value >= 0, name
+    if fast.high_locality_fraction is not None:
+        assert 0.0 <= fast.high_locality_fraction <= 1.0
+    if fast.mean_allocated_epochs is not None:
+        assert fast.mean_allocated_epochs >= 0.0
+
+
+@pytest.mark.parametrize("draw", range(3))
+def test_cycles_are_monotone_in_trace_length(draw: int) -> None:
+    """A longer prefix of the same stream never commits earlier."""
+    rng = random.Random(0xCAFE + draw)
+    workload = _draw_workload(rng, 100 + draw)
+    machine = _draw_machine(rng)
+    full = SyntheticWorkload(workload, seed=13).generate(INSTRUCTIONS)
+    fast = engine_by_name("fast")
+    previous_cycles = 0
+    for length in (INSTRUCTIONS // 3, 2 * INSTRUCTIONS // 3, INSTRUCTIONS):
+        # Keep the region footprints: Trace.prefix drops them, and the cache
+        # warm-up must see the same steady state for the comparison to mean
+        # anything.
+        prefix = Trace(full.instructions()[:length], name=full.name, regions=full.regions)
+        result = fast.run(machine, prefix)
+        assert result.cycles >= previous_cycles
+        previous_cycles = result.cycles

@@ -1,0 +1,169 @@
+"""Tests for the bench perf-regression gate (``repro bench --gate``).
+
+The timing-sensitive half of the gate runs in CI against the committed
+baseline artifact; these tests pin the *logic* with synthetic artifacts so
+they are deterministic on any host.
+"""
+
+from __future__ import annotations
+
+import json
+
+from _helpers import run_cli
+
+from repro.exp.cli import evaluate_bench_gate
+
+
+def _artifact(figures):
+    return {"artifact": "repro-bench", "figures": figures}
+
+
+def _figure(serial, parallel):
+    return {
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "speedup": serial / parallel if parallel else 0.0,
+        "simulations": 24,
+    }
+
+
+def test_gate_passes_on_clear_improvement():
+    baseline = _artifact({"fig7": _figure(13.5, 16.3)})
+    current = _artifact({"fig7": _figure(4.5, 2.6)})
+    ok, lines = evaluate_bench_gate(current, baseline)
+    assert ok
+    assert any("fig7" in line and "ok" in line for line in lines)
+
+
+def test_gate_fails_when_improvement_is_below_threshold():
+    baseline = _artifact({"fig7": _figure(13.5, 16.3)})
+    current = _artifact({"fig7": _figure(8.0, 4.0)})  # only 1.69x
+    ok, lines = evaluate_bench_gate(current, baseline, min_improvement=2.0)
+    assert not ok
+    assert any("FAIL" in line for line in lines)
+
+
+def test_gate_fails_when_parallel_is_not_faster_than_serial():
+    baseline = _artifact({"fig7": _figure(13.5, 16.3)})
+    current = _artifact({"fig7": _figure(4.0, 4.5)})  # speedup 0.89
+    ok, _ = evaluate_bench_gate(current, baseline)
+    assert not ok
+
+
+def test_gate_requires_strictly_greater_speedup():
+    baseline = _artifact({"fig7": _figure(10.0, 10.0)})
+    current = _artifact({"fig7": _figure(4.0, 4.0)})  # speedup exactly 1.0
+    ok, _ = evaluate_bench_gate(current, baseline)
+    assert not ok
+
+
+def test_gate_checks_every_shared_figure():
+    baseline = _artifact({"fig7": _figure(13.5, 16.3), "sec52": _figure(6.6, 7.5)})
+    current = _artifact(
+        {"fig7": _figure(4.5, 2.6), "sec52": _figure(6.0, 3.0)}  # sec52 only 1.1x
+    )
+    ok, lines = evaluate_bench_gate(current, baseline)
+    assert not ok
+    assert len(lines) == 2
+
+
+def test_gate_rejects_non_bench_baselines_without_crashing():
+    """A readable JSON that is not a bench artifact fails cleanly (no KeyError)."""
+    not_a_bench = {"figures": {"fig7": {"results": [1, 2, 3]}}}
+    ok, lines = evaluate_bench_gate(_artifact({"fig7": _figure(1.0, 0.5)}), not_a_bench)
+    assert not ok
+    assert "serial_seconds" in lines[0]
+
+
+def test_gate_with_no_shared_figures_fails_loudly():
+    ok, lines = evaluate_bench_gate(
+        _artifact({"fig7": _figure(1.0, 0.5)}), _artifact({"sec52": _figure(1.0, 0.5)})
+    )
+    assert not ok
+    assert "share no figures" in lines[0]
+
+
+def test_gate_thresholds_are_tunable():
+    baseline = _artifact({"fig7": _figure(10.0, 12.0)})
+    current = _artifact({"fig7": _figure(9.0, 6.0)})  # 1.11x improvement, 1.5x speedup
+    ok, _ = evaluate_bench_gate(current, baseline, min_improvement=1.05, min_speedup=1.2)
+    assert ok
+    ok, _ = evaluate_bench_gate(current, baseline, min_improvement=1.2, min_speedup=1.2)
+    assert not ok
+
+
+def test_cli_gate_exit_codes(tmp_path):
+    """End-to-end: ``repro bench --gate`` exits 0 / 1 / 2 appropriately.
+
+    Uses a tiny trace length so the timed runs are fast; the gate thresholds
+    are relaxed to near-zero because this test asserts plumbing (artifact
+    written, baseline read, exit code), not performance.
+    """
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(_artifact({"fig7": _figure(1_000.0, 1_000_000.0)}))
+    )
+    output = tmp_path / "bench.json"
+    done = run_cli(
+        [
+            "bench",
+            "--figures",
+            "fig7",
+            "--instructions",
+            "300",
+            "--jobs",
+            "2",
+            "--output",
+            str(output),
+            "--gate",
+            str(baseline_path),
+            "--gate-min-improvement",
+            "0.0001",
+            "--gate-min-speedup",
+            "0.0001",
+        ],
+        cwd=tmp_path,
+    )
+    assert done.returncode == 0, done.stderr
+    assert "bench gate passed" in done.stdout
+    artifact = json.loads(output.read_text())
+    assert artifact["engine"] == "fast"
+    assert "cpu_count" in artifact
+    assert "fig7" in artifact["figures"]
+
+    # An impossible improvement threshold must fail with exit code 1.
+    done = run_cli(
+        [
+            "bench",
+            "--figures",
+            "fig7",
+            "--instructions",
+            "300",
+            "--output",
+            str(output),
+            "--gate",
+            str(baseline_path),
+            "--gate-min-improvement",
+            "1e12",
+        ],
+        cwd=tmp_path,
+    )
+    assert done.returncode == 1
+    assert "bench gate FAILED" in done.stderr
+
+    # A missing baseline is a usage error (exit code 2).
+    done = run_cli(
+        [
+            "bench",
+            "--figures",
+            "fig7",
+            "--instructions",
+            "300",
+            "--output",
+            str(output),
+            "--gate",
+            str(tmp_path / "missing.json"),
+        ],
+        cwd=tmp_path,
+    )
+    assert done.returncode == 2

@@ -41,22 +41,32 @@ FIG7_INSTRUCTIONS = 2_000
 FAMILY_INSTRUCTIONS = 1_200
 
 
-def _fig7_results() -> Any:
-    context = campaign_context(instructions=FIG7_INSTRUCTIONS, seed=GOLDEN_SEED)
+def _fig7_results(engine: str) -> Any:
+    context = campaign_context(
+        instructions=FIG7_INSTRUCTIONS, seed=GOLDEN_SEED, engine=engine
+    )
     rows, baseline_ipc = fig7_speedups(context)
     return {"rows": to_jsonable(rows), "baseline_ipc": to_jsonable(baseline_ipc)}
 
 
-def _family_sweep_results() -> Any:
-    context = campaign_context(instructions=FAMILY_INSTRUCTIONS, seed=GOLDEN_SEED)
+def _family_sweep_results(engine: str) -> Any:
+    context = campaign_context(
+        instructions=FAMILY_INSTRUCTIONS, seed=GOLDEN_SEED, engine=engine
+    )
     points = family_sweep(
         context, epoch_counts=(2, 16), locality_thresholds=(10, 90)
     )
     return to_jsonable(points)
 
 
+#: Engines every golden runs under.  The snapshots themselves are
+#: engine-agnostic: the fast engine must reproduce the reference numbers bit
+#: for bit, so both parametrizations compare against the *same* file --
+#: numeric drift of the optimised loop cannot land silently.
+ENGINES = ("reference", "fast")
+
 #: name -> (snapshot file, campaign descriptor, result builder).
-GOLDENS: Dict[str, Tuple[str, Dict[str, Any], Callable[[], Any]]] = {
+GOLDENS: Dict[str, Tuple[str, Dict[str, Any], Callable[[str], Any]]] = {
     "fig7": (
         "fig7_quick.json",
         {
@@ -87,12 +97,15 @@ def _canonical(document: Any) -> Any:
     return json.loads(json.dumps(document, sort_keys=True))
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("name", sorted(GOLDENS))
-def test_golden_numerics(name: str, regen_golden: bool) -> None:
+def test_golden_numerics(name: str, engine: str, regen_golden: bool) -> None:
     filename, campaign, builder = GOLDENS[name]
     path = GOLDEN_DIR / filename
-    document = _canonical({"campaign": campaign, "results": builder()})
+    document = _canonical({"campaign": campaign, "results": builder(engine)})
     if regen_golden:
+        if engine != "reference":
+            pytest.skip("snapshots are regenerated from the reference engine only")
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     assert path.is_file(), (
