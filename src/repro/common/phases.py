@@ -1,0 +1,42 @@
+"""Per-phase wall-time accounting for the performance harness.
+
+``repro bench`` attributes where a figure's wall time actually goes by
+having the hot paths report how long each *phase* of a simulation took:
+
+* ``generation`` -- synthesising workload instruction streams
+  (:func:`repro.exp.runner._trace_for`),
+* ``build``      -- constructing processor models from machine configs,
+* ``warmup``     -- bringing cache state to its steady-state snapshot,
+* ``drive``      -- the per-instruction simulation loop itself,
+* ``dispatch``   -- parent-side parallel orchestration (pool map plus the
+  shared-memory trace handoff).
+
+The accumulator is deliberately simple: a per-process dict of phase name to
+seconds, reset by the measurement harness around each timed run.  Worker
+processes accumulate into their own copies, which the parent never sees --
+the parent-side snapshot therefore describes serial (inline) execution
+fully, and parallel execution from the orchestrator's point of view, which
+is exactly the split the bench artifact reports.  The two ``perf_counter``
+calls per report are noise next to the phases being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PHASES: Dict[str, float] = {}
+
+
+def add(phase: str, seconds: float) -> None:
+    """Accumulate ``seconds`` of wall time under ``phase``."""
+    _PHASES[phase] = _PHASES.get(phase, 0.0) + seconds
+
+
+def snapshot() -> Dict[str, float]:
+    """The accumulated seconds per phase (a copy, sorted by phase name)."""
+    return {name: _PHASES[name] for name in sorted(_PHASES)}
+
+
+def reset() -> None:
+    """Zero every phase (called by the bench harness between timed runs)."""
+    _PHASES.clear()

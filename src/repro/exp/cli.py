@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro._version import __version__
+from repro.common import phases
 from repro.common.errors import ReproError
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
@@ -317,6 +318,32 @@ def evaluate_bench_gate(
     return ok, lines
 
 
+def _git_revision() -> Optional[str]:
+    """The commit hash of the repro code being benchmarked, or ``None``.
+
+    Resolved relative to the installed package (not the caller's working
+    directory, which may be an unrelated repository), so the artifact
+    records the revision that actually produced the numbers; a non-editable
+    install has no checkout and records ``None``.
+    """
+    import subprocess
+    from pathlib import Path
+
+    package_dir = Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(package_dir), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else None
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     """Implement ``repro bench``: time serial vs parallel execution per figure.
 
@@ -330,6 +357,13 @@ def run_bench_command(args: argparse.Namespace) -> int:
     * **parallel** is the steady-state orchestration path: the runner's
       reused worker pool and the process's memoised engine state stay live,
       exactly as they do for a long-lived sweep or the simulation service.
+
+    Each mode records a per-phase wall-time breakdown (``phases``:
+    generation / build / warmup / drive seconds as reported by the hot
+    paths, plus parent-side ``dispatch`` for parallel runs), so a wall-time
+    change is attributable to the phase that caused it.  The artifact also
+    records the git revision and the engine, making trajectory JSONs
+    self-describing.
 
     With ``--gate BASELINE.json`` the command additionally compares the
     fresh artifact against a previously recorded one and exits non-zero when
@@ -346,6 +380,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
         "created_unix": time.time(),
         "python": sys.version.split()[0],
         "cpu_count": available_cpus(),
+        "git_revision": _git_revision(),
         "engine": args.engine if args.engine else DEFAULT_ENGINE,
         "parallel_jobs": args.jobs,
         "instructions_per_workload": None,
@@ -361,6 +396,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
     for name in figure_names:
         spec = FIGURES[name]
         timings: Dict[str, float] = {}
+        phase_breakdown: Dict[str, Dict[str, float]] = {}
         simulations = 0
         effective_workers = 1
         for mode, jobs in (("serial", 1), ("parallel", args.jobs)):
@@ -373,9 +409,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
                 clear_warm_memo()
             else:
                 effective_workers = runner.effective_workers()
+            phases.reset()
             started = time.perf_counter()
             spec.run(context)
             timings[mode] = time.perf_counter() - started
+            phase_breakdown[mode] = phases.snapshot()
             simulations = runner.executed_jobs
             runner.close()
         speedup = timings["serial"] / timings["parallel"] if timings["parallel"] else 0.0
@@ -386,6 +424,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             "parallel_jobs": args.jobs,
             "effective_workers": effective_workers,
             "speedup": speedup,
+            "phases": phase_breakdown,
         }
         print(
             f"{name:<8} {simulations:>5} {timings['serial']:>8.2f}s "
@@ -842,7 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated figures to time (default: {','.join(DEFAULT_BENCH_FIGURES)})",
     )
     sub.add_argument(
-        "--output", default="BENCH_pr4.json", help="artifact path (default: BENCH_pr4.json)"
+        "--output", default="BENCH_pr5.json", help="artifact path (default: BENCH_pr5.json)"
     )
     sub.add_argument(
         "--gate",

@@ -28,18 +28,26 @@ import multiprocessing
 import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
+from repro.common import phases
 from repro.common.errors import ConfigurationError
 from repro.common.serialize import stable_hash, to_jsonable
 from repro.exp.cache import ResultCache
 from repro.isa.trace import Trace
 from repro.sim.configs import MachineConfig
 from repro.sim.simulator import Simulator, SuiteResult
-from repro.trace.format import TRACE_FORMAT_VERSION
+from repro.trace.format import TRACE_FORMAT_VERSION, trace_from_buffer, trace_from_bytes, trace_to_bytes
 from repro.uarch.result import CoreResult
 from repro.workloads.base import WorkloadParameters
 from repro.workloads.suite import WorkloadSuite, generate_member_trace
+
+#: Environment knob for the parallel trace handoff: ``0`` disables the
+#: ``multiprocessing.shared_memory`` path and ships the columnar container
+#: bytes through the task pickle instead (the automatic fallback when shared
+#: memory is unavailable on the host).
+SHM_ENV = "REPRO_SHM"
 
 #: Bump when the meaning of a job changes (e.g. the runner's aggregation
 #: semantics); old cache entries then stop matching automatically.  Changes
@@ -134,13 +142,21 @@ def ensure_unique_case_ids(cases: Sequence[SweepCase]) -> None:
         seen.add(case.case_id)
 
 
+def _trace_memo_key(
+    workload: WorkloadParameters, num_instructions: int, seed: Optional[int]
+) -> Tuple[str, int, Optional[int]]:
+    return (stable_hash(workload), num_instructions, seed)
+
+
 def _trace_for(workload: WorkloadParameters, num_instructions: int, seed: Optional[int]) -> Trace:
-    memo_key = (stable_hash(workload), num_instructions, seed)
+    memo_key = _trace_memo_key(workload, num_instructions, seed)
     trace = _TRACE_MEMO.get(memo_key)
     if trace is None:
         if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
             _TRACE_MEMO.clear()
+        started = perf_counter()
         trace = generate_member_trace(workload, num_instructions, seed=seed)
+        phases.add("generation", perf_counter() - started)
         _TRACE_MEMO[memo_key] = trace
     return trace
 
@@ -176,8 +192,132 @@ def _dispatch_order(job: SimJob) -> Tuple[str, int, int]:
     return (job.workload.name, job.num_instructions, -1 if job.seed is None else job.seed)
 
 
-def _pool_worker(job: SimJob) -> Tuple[str, Dict[str, Any]]:
-    """Pool entry point: run a job and ship the result back as plain JSON types."""
+class _Task(NamedTuple):
+    """One pool task: the job plus its trace handoff payload.
+
+    ``payload`` is ``("shm", segment name)`` for the shared-memory path,
+    ``("bytes", container bytes)`` for the pickle fallback, or ``None`` when
+    the worker should generate the trace itself (handoff disabled).
+    """
+
+    job: SimJob
+    payload: Optional[Tuple[str, Any]]
+
+    # Convenience passthrough so dispatch-order introspection reads naturally.
+    @property
+    def workload(self) -> WorkloadParameters:
+        return self.job.workload
+
+
+def _shm_enabled() -> bool:
+    if os.environ.get(SHM_ENV, "1") == "0":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platforms without shm support
+        return False
+    return True
+
+
+def _publish_shm(blob: bytes):
+    """Copy ``blob`` into a fresh shared-memory segment (None on failure)."""
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+        segment.buf[: len(blob)] = blob
+        return segment
+    except (OSError, ValueError):  # pragma: no cover - exhausted /dev/shm etc.
+        return None
+
+
+#: Worker-side ledger of attached shared-memory segments: (weakref to the
+#: columns viewing the segment, the segment).  A segment is only safe to
+#: close once every memoryview into it is gone, which cannot be guaranteed
+#: during cyclic GC (``SharedMemory.__del__`` racing the views raises
+#: ``BufferError``); holding the segment here and sweeping on the next
+#: attach closes it deterministically once its columns are dead.
+_ATTACHED_SEGMENTS: List[Tuple[Any, Any]] = []
+
+
+def _sweep_attached_segments() -> None:
+    alive = []
+    for columns_ref, segment in _ATTACHED_SEGMENTS:
+        if columns_ref() is None:
+            try:
+                segment.close()
+                continue
+            except BufferError:  # pragma: no cover - stray exported view
+                pass
+        alive.append((columns_ref, segment))
+    _ATTACHED_SEGMENTS[:] = alive
+
+
+def _attach_shipped_trace(payload: Tuple[str, Any]) -> Trace:
+    """Rebuild the shipped trace in a worker process.
+
+    Shared-memory payloads are wrapped zero-copy (the columns index straight
+    into the segment, which stays mapped until the columns are collected);
+    byte payloads are parsed with the bulk columnar loader.
+    """
+    kind, value = payload
+    if kind == "shm":
+        import weakref
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=value)
+        try:
+            # The parent owns the segment's lifetime (it unlinks after the
+            # batch); without this, a spawn-started worker's resource
+            # tracker would try to clean the segment up again at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals shifted
+            pass
+        try:
+            # validate=False: the payload was serialised by the parent from
+            # an already-canonical in-process trace; the CRC still guards
+            # integrity, so the per-row canonical check would only re-pay
+            # cost the zero-copy handoff exists to remove.
+            trace = trace_from_buffer(segment.buf, owner=segment, validate=False).trace
+        except Exception:
+            # A segment that does not parse would otherwise stay mapped
+            # forever (nothing ever learns about it); unmap before letting
+            # the caller fall back to regeneration.  If the in-flight
+            # traceback still pins views into the buffer, park the segment
+            # on the sweep ledger with an already-dead ref instead.
+            try:
+                segment.close()
+            except BufferError:
+                _ATTACHED_SEGMENTS.append((lambda: None, segment))
+            raise
+        _sweep_attached_segments()
+        _ATTACHED_SEGMENTS.append((weakref.ref(trace.columns()), segment))
+        return trace
+    return trace_from_bytes(value, validate=False).trace
+
+
+def _pool_worker(task: _Task) -> Tuple[str, Dict[str, Any]]:
+    """Pool entry point: run a job and ship the result back as plain JSON types.
+
+    A shipped trace payload is installed into this worker's trace memo
+    first, so :func:`run_job` finds it there and regenerates nothing; if
+    attaching fails for any reason the worker falls back to generating the
+    trace itself (the two are bit-identical by the determinism contract).
+    """
+    job = task.job
+    if task.payload is not None:
+        memo_key = _trace_memo_key(job.workload, job.num_instructions, job.seed)
+        if memo_key not in _TRACE_MEMO:
+            try:
+                trace = _attach_shipped_trace(task.payload)
+            except Exception:
+                trace = None
+            if trace is not None:
+                if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+                    _TRACE_MEMO.clear()
+                _TRACE_MEMO[memo_key] = trace
     return job.key(), run_job(job).to_dict()
 
 
@@ -316,16 +456,55 @@ class ExperimentRunner:
         workers = self.effective_workers()
         if workers > 1 and len(misses) > 1:
             # Sort the batch by workload and hand each worker one contiguous
-            # chunk: same-trace jobs land on the same worker (one generation
+            # chunk: same-trace jobs land on the same worker (one handoff
             # per trace) and the map costs a single task message per worker
             # instead of one per job.  The pool is always sized at the full
             # worker cap -- a small batch merely leaves workers idle -- so a
             # mixed-size batch sequence keeps reusing one pool instead of
             # re-forking it whenever the batch size changes.
+            dispatch_started = perf_counter()
+            generation_before = phases.snapshot().get("generation", 0.0)
             ordered = sorted(misses.values(), key=_dispatch_order)
-            chunksize = -(-len(ordered) // min(workers, len(ordered)))
-            pool = self._ensure_pool(workers)
-            pairs = pool.map(_pool_worker, ordered, chunksize=chunksize)
+            use_shm = _shm_enabled()
+            segments = []
+            payloads: Dict[Tuple[str, int, Optional[int]], Tuple[str, Any]] = {}
+            tasks: List[_Task] = []
+            try:
+                # Each unique trace of the batch is generated once, here in
+                # the parent (memoised), serialised to its columnar container
+                # form, and handed to the workers by shared-memory name --
+                # or, when shared memory is unavailable or disabled, as the
+                # container bytes riding the task pickle (same-trace jobs
+                # share one chunk, and pickle dedupes the repeated object).
+                for job in ordered:
+                    memo_key = _trace_memo_key(job.workload, job.num_instructions, job.seed)
+                    payload = payloads.get(memo_key)
+                    if payload is None:
+                        blob = trace_to_bytes(
+                            _trace_for(job.workload, job.num_instructions, job.seed)
+                        )
+                        segment = _publish_shm(blob) if use_shm else None
+                        if segment is not None:
+                            segments.append(segment)
+                            payload = ("shm", segment.name)
+                        else:
+                            payload = ("bytes", blob)
+                        payloads[memo_key] = payload
+                    tasks.append(_Task(job, payload))
+                chunksize = -(-len(tasks) // min(workers, len(tasks)))
+                pool = self._ensure_pool(workers)
+                pairs = pool.map(_pool_worker, tasks, chunksize=chunksize)
+            finally:
+                for segment in segments:
+                    try:
+                        segment.close()
+                        segment.unlink()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            generation_delta = phases.snapshot().get("generation", 0.0) - generation_before
+            phases.add(
+                "dispatch", perf_counter() - dispatch_started - generation_delta
+            )
             return {key: CoreResult.from_dict(payload) for key, payload in pairs}
         return {key: run_job(job) for key, job in misses.items()}
 

@@ -6,16 +6,28 @@ the unit of work handed to a processor model.  Traces can be built from any
 iterable of instructions (typically a workload generator), summarised with
 :class:`TraceStatistics`, sliced, concatenated and serialised to a simple
 line-oriented text format for offline inspection.
+
+A trace has two interchangeable storage forms: the instruction-object list
+(the historical representation) and the columnar structure-of-arrays form
+(:class:`~repro.isa.columns.TraceColumns`), which the workload generators
+emit natively, the binary container loads in bulk, and the ``fast``
+simulation engine drives directly.  :meth:`Trace.columns` and the lazy
+object materialisation convert between the two on demand and cache the
+result, so either API can be used on any trace without the other being paid
+for up front.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import TraceError
 from repro.isa.instruction import InstrClass, Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.isa.columns import TraceColumns
 
 
 @dataclass(frozen=True)
@@ -119,15 +131,51 @@ class Trace:
         name: str = "trace",
         regions: Tuple[RegionFootprint, ...] = (),
     ) -> None:
-        self._instructions: List[Instruction] = list(instructions)
+        self._instructions: Optional[List[Instruction]] = list(instructions)
         self._name = name
         self._regions = tuple(regions)
+        self._columns: Optional["TraceColumns"] = None
         for index, instruction in enumerate(self._instructions):
             if instruction.seq != index:
                 raise TraceError(
                     f"trace {name!r}: instruction at position {index} has seq "
                     f"{instruction.seq}; sequence numbers must be consecutive from zero"
                 )
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: "TraceColumns",
+        name: str = "trace",
+        regions: Tuple[RegionFootprint, ...] = (),
+    ) -> "Trace":
+        """Build a trace directly over columnar storage.
+
+        Instruction objects are materialised lazily, only if an object-API
+        consumer asks for them; the fast engine and the binary container
+        operate on the columns alone.  Sequence numbers are positional by
+        construction, so the consecutive-``seq`` validation the object
+        constructor performs holds trivially.
+        """
+        trace = cls.__new__(cls)
+        trace._instructions = None
+        trace._columns = columns
+        trace._name = name
+        trace._regions = tuple(regions)
+        return trace
+
+    def columns(self) -> "TraceColumns":
+        """The columnar form of this trace (built once, then cached)."""
+        if self._columns is None:
+            from repro.isa.columns import TraceColumns
+
+            self._columns = TraceColumns.from_instructions(self._instructions)
+        return self._columns
+
+    def _materialize(self) -> List[Instruction]:
+        if self._instructions is None:
+            self._instructions = self._columns.to_instructions()
+        return self._instructions
 
     @property
     def name(self) -> str:
@@ -140,26 +188,30 @@ class Trace:
         return self._regions
 
     def __len__(self) -> int:
-        return len(self._instructions)
+        if self._instructions is not None:
+            return len(self._instructions)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[Instruction]:
-        return iter(self._instructions)
+        return iter(self._materialize())
 
     def __getitem__(self, index: Union[int, slice]) -> Union[Instruction, Sequence[Instruction]]:
-        return self._instructions[index]
+        return self._materialize()[index]
 
     def instructions(self) -> Sequence[Instruction]:
         """Return the underlying instruction list (do not mutate)."""
-        return self._instructions
+        return self._materialize()
 
     def memory_operations(self) -> Iterator[Instruction]:
         """Iterate over the loads and stores of the trace in program order."""
-        for instruction in self._instructions:
+        for instruction in self._materialize():
             if instruction.is_memory:
                 yield instruction
 
     def statistics(self, line_size: int = 32) -> TraceStatistics:
         """Compute composition statistics; lines are counted at ``line_size`` granularity."""
+        if self._instructions is None:
+            return self._statistics_from_columns(line_size)
         loads = stores = branches = int_ops = fp_ops = mispredicts = 0
         lines = set()
         for instruction in self._instructions:
@@ -188,13 +240,56 @@ class Trace:
             unique_lines_touched=len(lines),
         )
 
+    def _statistics_from_columns(self, line_size: int) -> TraceStatistics:
+        """Column-driven statistics (no instruction objects materialised)."""
+        from repro.isa.columns import (
+            CODE_BRANCH,
+            CODE_FP_ALU,
+            CODE_LOAD,
+            CODE_STORE,
+            FLAG_MISPREDICTED,
+        )
+
+        columns = self._columns
+        iclass = columns.iclass
+        flags = columns.flags
+        address = columns.address
+        loads = stores = branches = fp_ops = mispredicts = 0
+        lines = set()
+        for seq in range(len(iclass)):
+            code = iclass[seq]
+            if code == CODE_LOAD:
+                loads += 1
+                lines.add(address[seq] // line_size)
+            elif code == CODE_STORE:
+                stores += 1
+                lines.add(address[seq] // line_size)
+            elif code == CODE_BRANCH:
+                branches += 1
+                if flags[seq] & FLAG_MISPREDICTED:
+                    mispredicts += 1
+            elif code == CODE_FP_ALU:
+                fp_ops += 1
+        total = len(iclass)
+        return TraceStatistics(
+            num_instructions=total,
+            num_loads=loads,
+            num_stores=stores,
+            num_branches=branches,
+            num_int_alu=total - loads - stores - branches - fp_ops,
+            num_fp_alu=fp_ops,
+            num_mispredicted_branches=mispredicts,
+            unique_lines_touched=len(lines),
+        )
+
     def concatenate(self, other: "Trace", name: Optional[str] = None) -> "Trace":
         """Return a new trace containing this trace followed by ``other``.
 
         Sequence numbers of the second trace are rebased so the result is a
         valid trace.
         """
-        offset = len(self._instructions)
+        own = self._materialize()
+        offset = len(own)
         rebased = [
             Instruction(
                 seq=offset + instruction.seq,
@@ -209,7 +304,7 @@ class Trace:
             for instruction in other
         ]
         return Trace(
-            self._instructions + rebased,
+            own + rebased,
             name=name if name is not None else f"{self._name}+{other.name}",
         )
 
@@ -218,7 +313,7 @@ class Trace:
         if length < 0:
             raise TraceError(f"prefix length must be non-negative, got {length}")
         return Trace(
-            self._instructions[:length],
+            self._materialize()[:length],
             name=name if name is not None else f"{self._name}[:{length}]",
         )
 
@@ -233,7 +328,7 @@ class Trace:
         target = Path(path)
         with target.open("w", encoding="utf-8") as handle:
             handle.write(f"# repro-trace name={self._name}\n")
-            for instruction in self._instructions:
+            for instruction in self._materialize():
                 handle.write(self._encode_line(instruction))
                 handle.write("\n")
 

@@ -10,12 +10,23 @@ warm-up replay that precedes every timed run.
 
 This module re-implements the *same algorithms* with the interpreter in mind:
 
-* **Memoised region warm-up.**  The warm-up's final tag/LRU state is a pure
-  function of the trace's region footprints and the cache geometry, so it is
-  computed once per process (using the reference
-  :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_up_regions` code, which
-  guarantees identical state) and replayed into later hierarchies as a plain
-  array copy.  This removes the single largest cost of a short simulation.
+* **Columnar drive loop.**  The loop walks the trace's structure-of-arrays
+  form (:meth:`~repro.isa.trace.Trace.columns`) -- typed columns of class
+  codes, registers, addresses, sizes and flags -- so no per-instruction
+  object is ever touched, no source tuple sliced, no attribute chain walked.
+  A trace loaded from the binary container or handed over shared memory
+  drives the loop without a single ``Instruction`` being materialised.
+* **Analytic region warm-up.**  The functional warm-up's final tag/LRU state
+  is a pure function of the trace's region footprints and the cache
+  geometry.  Because the replay inserts consecutive, non-overlapping lines
+  into fresh caches, that state has a closed form (each insertion lands in a
+  rotating way; the final LRU stack is the tail of the insertion sequence),
+  which is computed directly -- per (regions, geometry) pair, memoised per
+  process -- instead of replaying hundreds of thousands of accesses.
+  Overlapping footprints fall back to the reference replay, so the captured
+  state is identical in every case (``tests/test_engine_selection.py``
+  asserts equality against :meth:`MemoryHierarchy.warm_up_regions` across
+  all paper geometries).
 * **Scalar frontier allocators.**  Fetch, commit, migration and per-engine
   issue bandwidth are requested in non-decreasing cycle order, so the
   reference allocator's per-cycle dictionary degenerates to a
@@ -24,9 +35,6 @@ This module re-implements the *same algorithms* with the interpreter in mind:
   the epoch pool) become fixed-size lists with a wrap index instead of
   deques, and the register scoreboard becomes a flat list indexed by
   architectural register number instead of a dictionary.
-* **Hoisted configuration lookups.**  Every per-instruction attribute chain
-  (``cfg.fetch_width``, ``stats.bump`` ...) is bound to a local once, outside
-  the loop.
 
 The LSQ policies, the memory hierarchy and the statistics registry are the
 *same objects* the reference engine drives -- only the loop around them is
@@ -35,16 +43,31 @@ for expression.  ``tests/differential/`` asserts the result (every counter,
 histogram bin, cycle count and derived float) is bit-identical to the
 ``reference`` engine across workload families, suites, seeds and fuzzed
 configurations.
+
+The loops also report per-phase wall time (``build`` / ``warmup`` /
+``drive``) to :mod:`repro.common.phases`, which ``repro bench`` folds into
+its artifact so speed-ups stay attributable.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.common import phases
+from repro.common.errors import TraceError
 from repro.core.records import Locality, LoadRecord, StoreRecord
 from repro.fmc.processor import FMCProcessor
 from repro.fmc.processor import _WRONG_PATH_CAP as _FMC_WRONG_PATH_CAP
-from repro.isa.instruction import NUM_ARCH_REGISTERS, InstrClass
+from repro.isa.columns import (
+    CODE_BRANCH,
+    CODE_FP_ALU,
+    CODE_LOAD,
+    CODE_STORE,
+    FLAG_HAS_LATENCY,
+    FLAG_MISPREDICTED,
+)
+from repro.isa.instruction import NUM_ARCH_REGISTERS
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.ooo_core import (
@@ -91,22 +114,127 @@ def _restore_cache(cache, state: Tuple) -> None:
         lrus[index]._order = list(order)
 
 
+def _warm_line_ranges(footprints, cache_config) -> List[Tuple[int, int]]:
+    """The (first line, line count) each footprint inserts at this geometry.
+
+    Mirrors the fill arithmetic of
+    :meth:`~repro.memory.hierarchy.MemoryHierarchy.warm_up_regions`: a region
+    replays its *last* ``min(region lines, cache lines)`` lines, which form a
+    run of consecutive line numbers regardless of base-address alignment.
+    """
+    line_size = cache_config.line_size
+    capacity_lines = cache_config.num_lines
+    shift = line_size.bit_length() - 1
+    ranges = []
+    for region in footprints:
+        lines_in_region = max(1, region.size_bytes // line_size)
+        fill_lines = min(lines_in_region, capacity_lines)
+        start = region.base_address + (lines_in_region - fill_lines) * line_size
+        ranges.append((start >> shift, fill_lines))
+    return ranges
+
+
+def _warm_cache_state(footprints, cache_config) -> Optional[Tuple]:
+    """Compute one level's post-warm-up (tags, LRU orders) in closed form.
+
+    The warm-up inserts each footprint's lines in consecutive order into a
+    fresh, lock-free cache.  When no line is inserted twice, the replay has
+    a closed form: the ``j``-th insertion into a set lands in way
+    ``assoc - 1 - (j % assoc)`` (a fresh LRU stack hands out ways from the
+    top down, then cycles), so the final tags and recency stack of every set
+    are determined by the tail of its insertion sequence -- and each set's
+    insertion sequence is a concatenation of arithmetic progressions (one
+    per footprint, stride ``num_sets``), so the tail is computed directly.
+
+    Returns ``None`` when footprints' line ranges overlap (re-inserted lines
+    would hit instead of allocate); the caller then falls back to the
+    reference replay.
+    """
+    ranges = _warm_line_ranges(footprints, cache_config)
+    spans = sorted((first, first + count) for first, count in ranges)
+    for (_a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+        if b_start < a_end:
+            return None
+
+    num_sets = cache_config.num_sets
+    assoc = cache_config.associativity
+    num_ranges = len(ranges)
+    tags: List[Tuple] = []
+    orders: List[Tuple] = []
+    counts = [0] * num_ranges
+    for set_index in range(num_sets):
+        inserted = 0
+        for index in range(num_ranges):
+            first_line, fill = ranges[index]
+            offset = (set_index - first_line) % num_sets
+            if offset < fill:
+                count = (fill - offset - 1) // num_sets + 1
+            else:
+                count = 0
+            counts[index] = count
+            inserted += count
+        want = assoc if inserted >= assoc else inserted
+        # The last `want` lines inserted into this set, newest first.
+        tail: List[int] = []
+        for index in range(num_ranges - 1, -1, -1):
+            count = counts[index]
+            if not count:
+                continue
+            if len(tail) >= want:
+                break
+            first_line, _fill = ranges[index]
+            offset = (set_index - first_line) % num_sets
+            newest = first_line + offset + (count - 1) * num_sets
+            take = want - len(tail)
+            if take > count:
+                take = count
+            for step in range(take):
+                tail.append(newest - step * num_sets)
+        row: List[Optional[int]] = [None] * assoc
+        order: List[int] = []
+        for position in range(want):
+            insertion = inserted - 1 - position
+            way = assoc - 1 - (insertion % assoc)
+            order.append(way)
+            row[way] = tail[position]
+        if inserted < assoc:
+            # Untouched ways keep their original (ascending) recency order.
+            order.extend(range(assoc - inserted))
+        tags.append(tuple(row))
+        orders.append(tuple(order))
+    return tuple(tags), tuple(orders)
+
+
+def _compute_warm_state(hierarchy: MemoryHierarchy, regions) -> Tuple:
+    """The memoised (l1 state, l2 state) pair for one (regions, geometry) key."""
+    footprints = sorted(regions, key=lambda region: region.access_density)
+    config = hierarchy.config
+    l1_state = _warm_cache_state(footprints, config.l1)
+    l2_state = _warm_cache_state(footprints, config.l2)
+    if l1_state is not None and l2_state is not None:
+        return l1_state, l2_state
+    # Overlapping footprints: replay the reference warm-up into a scratch
+    # hierarchy and capture its state, which is identical by construction.
+    scratch = MemoryHierarchy(config)
+    scratch.warm_up_regions(regions)
+    return _capture_cache(scratch.l1), _capture_cache(scratch.l2)
+
+
 def warm_hierarchy(hierarchy: MemoryHierarchy, regions) -> None:
     """Bring ``hierarchy`` to the post-warm-up state for ``regions``.
 
-    The first request for a (regions, geometry) pair runs the reference
-    warm-up -- so the resulting state is identical by construction -- and
-    captures the outcome; later requests restore the captured arrays into the
-    fresh hierarchy, skipping the replay entirely.
+    The first request for a (regions, geometry) pair computes the closed-form
+    warm state (or, for overlapping footprints, captures a reference replay)
+    and memoises it; every request restores the state into the fresh
+    hierarchy as a plain array copy, skipping the replay entirely.
     """
     key = (regions, hierarchy.config.l1, hierarchy.config.l2)
     state = _WARM_MEMO.get(key)
     if state is None:
-        hierarchy.warm_up_regions(regions)
+        state = _compute_warm_state(hierarchy, regions)
         if len(_WARM_MEMO) >= _WARM_MEMO_LIMIT:
             _WARM_MEMO.clear()
-        _WARM_MEMO[key] = (_capture_cache(hierarchy.l1), _capture_cache(hierarchy.l2))
-        return
+        _WARM_MEMO[key] = state
     _restore_cache(hierarchy.l1, state[0])
     _restore_cache(hierarchy.l2, state[1])
 
@@ -121,8 +249,11 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
     cfg = core.config
     stats = core.stats
     policy = core.policy
+    warm_started = perf_counter()
     if core.warm_caches and trace.regions:
         warm_hierarchy(core.hierarchy, trace.regions)
+    drive_started = perf_counter()
+    phases.add("warmup", drive_started - warm_started)
     load_hist = stats.histogram(
         "decode_to_address.loads", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
     )
@@ -148,10 +279,24 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
     mispredict_penalty = cfg.branch_mispredict_penalty
     rob_cap = cfg.rob_size
 
-    LOAD = InstrClass.LOAD
-    STORE = InstrClass.STORE
-    BRANCH = InstrClass.BRANCH
-    FP_ALU = InstrClass.FP_ALU
+    columns = trace.columns()
+    iclass_col = columns.iclass
+    dest_col = columns.dest
+    src0_col = columns.src0
+    src1_col = columns.src1
+    src2_col = columns.src2
+    src3_col = columns.src3
+    addr_col = columns.address
+    size_col = columns.size
+    flags_col = columns.flags
+    latency_col = columns.latency
+
+    LOAD = CODE_LOAD
+    STORE = CODE_STORE
+    BRANCH = CODE_BRANCH
+    FP_ALU = CODE_FP_ALU
+    MISPREDICTED = FLAG_MISPREDICTED
+    HAS_LATENCY = FLAG_HAS_LATENCY
     HIGH = Locality.HIGH
 
     # Scalar frontier allocators (fetch/commit requests are non-decreasing).
@@ -179,10 +324,10 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
     wrong_path_estimate = 0.0
     last_commit_cycle = 0
 
-    for instruction in trace:
-        iclass = instruction.iclass
-        is_load = iclass is LOAD
-        is_store = iclass is STORE
+    for seq in range(len(iclass_col)):
+        code = iclass_col[seq]
+        is_load = code == LOAD
+        is_store = code == STORE
 
         # ---------------- fetch / decode ----------------
         desired = fetch_resume_cycle
@@ -211,23 +356,62 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
         decode_cycle = fetch_cycle + decode_latency
 
         # ---------------- operand readiness ----------------
-        srcs = instruction.srcs
-        if is_store and srcs:
-            address_srcs = srcs[:-1] or srcs
-            data_srcs = srcs[-1:]
-        else:
-            address_srcs = srcs
-            data_srcs = ()
+        # Sources are left-packed columns with -1 padding.  A store's last
+        # source is its data operand; a single-source store uses that source
+        # as both address and data (matching ``srcs[:-1] or srcs``).
+        s0 = src0_col[seq]
         addr_ready = decode_cycle
-        for src in address_srcs:
-            ready = regs[src]
-            if ready > addr_ready:
-                addr_ready = ready
-        data_ready = addr_ready
-        for src in data_srcs:
-            ready = regs[src]
-            if ready > data_ready:
-                data_ready = ready
+        if is_store:
+            s1 = src1_col[seq]
+            if s1 < 0:
+                if s0 >= 0:
+                    ready = regs[s0]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                data_ready = addr_ready
+            else:
+                ready = regs[s0]
+                if ready > addr_ready:
+                    addr_ready = ready
+                s2 = src2_col[seq]
+                if s2 < 0:
+                    data_src = s1
+                else:
+                    ready = regs[s1]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                    s3 = src3_col[seq]
+                    if s3 < 0:
+                        data_src = s2
+                    else:
+                        ready = regs[s2]
+                        if ready > addr_ready:
+                            addr_ready = ready
+                        data_src = s3
+                data_ready = regs[data_src]
+                if data_ready < addr_ready:
+                    data_ready = addr_ready
+        else:
+            if s0 >= 0:
+                ready = regs[s0]
+                if ready > addr_ready:
+                    addr_ready = ready
+                s1 = src1_col[seq]
+                if s1 >= 0:
+                    ready = regs[s1]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                    s2 = src2_col[seq]
+                    if s2 >= 0:
+                        ready = regs[s2]
+                        if ready > addr_ready:
+                            addr_ready = ready
+                        s3 = src3_col[seq]
+                        if s3 >= 0:
+                            ready = regs[s3]
+                            if ready > addr_ready:
+                                addr_ready = ready
+            data_ready = addr_ready
 
         # ---------------- issue and execute ----------------
         violation = False
@@ -247,9 +431,9 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
             issue_cycle = cycle
             record_load_hist(issue_cycle - decode_cycle)
             pending_load_record = LoadRecord(
-                seq=instruction.seq,
-                address=instruction.address or 0,
-                size=instruction.size,
+                seq=seq,
+                address=addr_col[seq],
+                size=size_col[seq],
                 decode_cycle=decode_cycle,
                 issue_cycle=issue_cycle,
                 locality=HIGH,
@@ -263,16 +447,17 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
             num_stores += 1
             record_store_hist(issue_cycle - decode_cycle)
             complete = issue_cycle if issue_cycle >= data_ready else data_ready
-        elif iclass is BRANCH:
+        elif code == BRANCH:
             complete = issue_cycle + branch_latency
         else:
-            latency = instruction.latency
-            if latency is None:
-                latency = fp_alu_latency if iclass is FP_ALU else int_alu_latency
+            if flags_col[seq] & HAS_LATENCY:
+                latency = latency_col[seq]
+            else:
+                latency = fp_alu_latency if code == FP_ALU else int_alu_latency
             complete = issue_cycle + latency
 
-        dest = instruction.dest
-        if dest is not None:
+        dest = dest_col[seq]
+        if dest >= 0:
             regs[dest] = complete
 
         # ---------------- commit ----------------
@@ -288,9 +473,9 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
 
         if is_store:
             store_record = StoreRecord(
-                seq=instruction.seq,
-                address=instruction.address or 0,
-                size=instruction.size,
+                seq=seq,
+                address=addr_col[seq],
+                size=size_col[seq],
                 decode_cycle=decode_cycle,
                 addr_ready_cycle=issue_cycle,
                 data_ready_cycle=issue_cycle if issue_cycle >= data_ready else data_ready,
@@ -339,7 +524,7 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
                 sq_n += 1
 
         # ---------------- control / squash handling ----------------
-        if iclass is BRANCH and instruction.mispredicted:
+        if code == BRANCH and flags_col[seq] & MISPREDICTED:
             resolve_cycle = complete + mispredict_penalty
             if resolve_cycle > fetch_resume_cycle:
                 fetch_resume_cycle = resolve_cycle
@@ -367,6 +552,7 @@ def run_ooo_fast(core: OutOfOrderCore, trace: Trace) -> CoreResult:
     policy.finalize(total_cycles, committed)
     stats.counter("core.cycles").add(total_cycles)
     stats.counter("core.committed_instructions").add(committed)
+    phases.add("drive", perf_counter() - drive_started)
 
     return CoreResult(
         trace_name=trace.name,
@@ -389,8 +575,11 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
     stats = processor.stats
     policy = processor.policy
     threshold = processor.elsq_config.locality_threshold_cycles
+    warm_started = perf_counter()
     if processor.warm_caches and trace.regions:
         warm_hierarchy(processor.hierarchy, trace.regions)
+    drive_started = perf_counter()
+    phases.add("warmup", drive_started - warm_started)
 
     load_hist = stats.histogram(
         "decode_to_address.loads", _LOCALITY_HISTOGRAM_BIN, _LOCALITY_HISTOGRAM_BINS
@@ -428,10 +617,24 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
     restricts_sac = disambiguation.restricts_store_address_calculation
     restricts_lac = disambiguation.restricts_load_address_calculation
 
-    LOAD = InstrClass.LOAD
-    STORE = InstrClass.STORE
-    BRANCH = InstrClass.BRANCH
-    FP_ALU = InstrClass.FP_ALU
+    columns = trace.columns()
+    iclass_col = columns.iclass
+    dest_col = columns.dest
+    src0_col = columns.src0
+    src1_col = columns.src1
+    src2_col = columns.src2
+    src3_col = columns.src3
+    addr_col = columns.address
+    size_col = columns.size
+    flags_col = columns.flags
+    latency_col = columns.latency
+
+    LOAD = CODE_LOAD
+    STORE = CODE_STORE
+    BRANCH = CODE_BRANCH
+    FP_ALU = CODE_FP_ALU
+    MISPREDICTED = FLAG_MISPREDICTED
+    HAS_LATENCY = FLAG_HAS_LATENCY
     HIGH = Locality.HIGH
     LOW = Locality.LOW
 
@@ -480,10 +683,10 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
     wrong_path_estimate = 0.0
     last_commit_cycle = 0
 
-    for instruction in trace:
-        iclass = instruction.iclass
-        is_load = iclass is LOAD
-        is_store = iclass is STORE
+    for seq in range(len(iclass_col)):
+        code = iclass_col[seq]
+        is_load = code == LOAD
+        is_store = code == STORE
 
         # ---------------- fetch / decode ----------------
         desired = fetch_resume_cycle
@@ -512,23 +715,60 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
         decode_cycle = fetch_cycle + decode_latency
 
         # ---------------- operand readiness ----------------
-        srcs = instruction.srcs
-        if is_store and srcs:
-            address_srcs = srcs[:-1] or srcs
-            data_srcs = srcs[-1:]
-        else:
-            address_srcs = srcs
-            data_srcs = ()
+        # Same left-packed source convention as the conventional loop.
+        s0 = src0_col[seq]
         addr_ready = decode_cycle
-        for src in address_srcs:
-            ready = regs[src]
-            if ready > addr_ready:
-                addr_ready = ready
-        data_ready = addr_ready
-        for src in data_srcs:
-            ready = regs[src]
-            if ready > data_ready:
-                data_ready = ready
+        if is_store:
+            s1 = src1_col[seq]
+            if s1 < 0:
+                if s0 >= 0:
+                    ready = regs[s0]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                data_ready = addr_ready
+            else:
+                ready = regs[s0]
+                if ready > addr_ready:
+                    addr_ready = ready
+                s2 = src2_col[seq]
+                if s2 < 0:
+                    data_src = s1
+                else:
+                    ready = regs[s1]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                    s3 = src3_col[seq]
+                    if s3 < 0:
+                        data_src = s2
+                    else:
+                        ready = regs[s2]
+                        if ready > addr_ready:
+                            addr_ready = ready
+                        data_src = s3
+                data_ready = regs[data_src]
+                if data_ready < addr_ready:
+                    data_ready = addr_ready
+        else:
+            if s0 >= 0:
+                ready = regs[s0]
+                if ready > addr_ready:
+                    addr_ready = ready
+                s1 = src1_col[seq]
+                if s1 >= 0:
+                    ready = regs[s1]
+                    if ready > addr_ready:
+                        addr_ready = ready
+                    s2 = src2_col[seq]
+                    if s2 >= 0:
+                        ready = regs[s2]
+                        if ready > addr_ready:
+                            addr_ready = ready
+                        s3 = src3_col[seq]
+                        if s3 >= 0:
+                            ready = regs[s3]
+                            if ready > addr_ready:
+                                addr_ready = ready
+            data_ready = addr_ready
 
         # ---------------- locality classification ----------------
         low_locality = addr_ready - decode_cycle > threshold
@@ -645,9 +885,9 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
             num_loads += 1
             record_load_hist(issue_cycle - decode_cycle)
             pending_load_record = LoadRecord(
-                seq=instruction.seq,
-                address=instruction.address or 0,
-                size=instruction.size,
+                seq=seq,
+                address=addr_col[seq],
+                size=size_col[seq],
                 decode_cycle=decode_cycle,
                 issue_cycle=issue_cycle,
                 locality=LOW if low_locality else HIGH,
@@ -663,16 +903,17 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
             num_stores += 1
             record_store_hist(issue_cycle - decode_cycle)
             complete = issue_cycle if issue_cycle >= data_ready else data_ready
-        elif iclass is BRANCH:
+        elif code == BRANCH:
             complete = issue_cycle + branch_latency
         else:
-            latency = instruction.latency
-            if latency is None:
-                latency = fp_alu_latency if iclass is FP_ALU else int_alu_latency
+            if flags_col[seq] & HAS_LATENCY:
+                latency = latency_col[seq]
+            else:
+                latency = fp_alu_latency if code == FP_ALU else int_alu_latency
             complete = issue_cycle + latency
 
-        dest = instruction.dest
-        if dest is not None:
+        dest = dest_col[seq]
+        if dest >= 0:
             regs[dest] = complete
 
         # ---------------- commit ----------------
@@ -688,9 +929,9 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
 
         if is_store:
             store_record = StoreRecord(
-                seq=instruction.seq,
-                address=instruction.address or 0,
-                size=instruction.size,
+                seq=seq,
+                address=addr_col[seq],
+                size=size_col[seq],
                 decode_cycle=decode_cycle,
                 addr_ready_cycle=issue_cycle,
                 data_ready_cycle=issue_cycle if issue_cycle >= data_ready else data_ready,
@@ -757,7 +998,7 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
                 mp_active_until = commit_cycle
 
         # ---------------- control / squash handling ----------------
-        if iclass is BRANCH and instruction.mispredicted:
+        if code == BRANCH and flags_col[seq] & MISPREDICTED:
             resolve_cycle = complete + mispredict_penalty
             if resolve_cycle > fetch_resume_cycle:
                 fetch_resume_cycle = resolve_cycle
@@ -809,6 +1050,7 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
     mean_allocated_epochs = (
         epoch_live_cycle_sum / ll_active_cycles if ll_active_cycles > 0 else 0.0
     )
+    phases.add("drive", perf_counter() - drive_started)
 
     return CoreResult(
         trace_name=trace.name,
@@ -823,13 +1065,24 @@ def run_fmc_fast(processor: FMCProcessor, trace: Trace) -> CoreResult:
 
 
 class FastEngine:
-    """Optimised drive loop over the reference processor and LSQ objects."""
+    """Optimised columnar drive loop over the reference processor objects."""
 
     name = "fast"
 
     def run(self, machine, trace: Trace) -> CoreResult:
         """Simulate ``trace`` on ``machine`` with the optimised loop."""
+        try:
+            trace.columns()
+        except (TraceError, OverflowError):
+            # Streams outside the columnar envelope -- hand-built
+            # instructions with more than four sources (TraceError) or with
+            # fields exceeding the column typecodes' fixed widths, e.g. an
+            # access size above 65535 (OverflowError from array.append) --
+            # take the reference walk, which is bit-identical by definition.
+            return machine.build().run(trace)
+        build_started = perf_counter()
         processor = machine.build()
+        phases.add("build", perf_counter() - build_started)
         if isinstance(processor, FMCProcessor):
             return run_fmc_fast(processor, trace)
         return run_ooo_fast(processor, trace)

@@ -23,9 +23,11 @@ format version).  The design goals, in order:
   record layout *or the meaning of a generated trace* changes (e.g. the
   generator's seed-derivation scheme); the experiment layer folds the same
   number into every result-cache content address, so stale cached results
-  from an older format can never be served as hits.
+  from an older format can never be served as hits.  Older container
+  versions listed in :data:`SUPPORTED_TRACE_VERSIONS` remain *readable*, so
+  archived recordings keep replaying.
 
-Container layout (all integers little-endian)::
+Version-2 container layout (all integers little-endian)::
 
     offset  size  field
     0       8     magic  b"REPROTRC"
@@ -33,32 +35,35 @@ Container layout (all integers little-endian)::
     10      4     header length H (u32)
     14      H     header JSON (utf-8): name, seed, params, regions, counts
     14+H    8     record count N (u64)
-    22+H    22*N  fixed-width instruction records
-    ...     4     CRC-32 of the record bytes (u32)
+    22+H    ...   columnar sections, one per column of
+                  repro.isa.columns.COLUMN_LAYOUT, each N * itemsize bytes:
+                  iclass u8 | dest i8 | src0..src3 i8 | address u64 |
+                  size u16 | flags u8 | latency u32
+    ...     4     CRC-32 of the concatenated section bytes (u32)
 
-Record layout (22 bytes)::
+The columnar sections load with one bulk ``frombytes`` per column -- or, via
+:func:`trace_from_buffer`, as zero-copy ``memoryview`` casts straight into a
+caller-owned buffer such as a shared-memory segment.
 
-    flags   u8   bit0 has_address, bit1 mispredicted, bit2 has_latency
-    iclass  u8   index into (int_alu, fp_alu, branch, load, store)
-    dest    i8   destination register, -1 when absent
-    srcs    4xi8 source registers, -1 padding (max 4 sources)
-    address u64  byte address (0 when absent)
-    size    u16  access size in bytes
-    latency u32  latency override (0 when absent)
+Version 1 stored the same fields as 22-byte row-major records
+(``<BBbbbbbQHI``: flags, iclass, dest, 4 x src, address, size, latency);
+:func:`trace_from_bytes` still parses them, bulk-decoding the whole record
+section with ``struct.iter_unpack`` straight into columns.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import sys
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.common.errors import TraceError
 from repro.common.serialize import from_jsonable, to_jsonable
-from repro.isa.instruction import InstrClass, Instruction
+from repro.isa.columns import COLUMN_LAYOUT, TraceColumns
 from repro.isa.trace import RegionFootprint, Trace
 from repro.workloads.base import WorkloadParameters
 
@@ -69,31 +74,22 @@ TRACE_FORMAT_MAGIC = b"REPROTRC"
 #: Bump on any change to the record layout, the header schema, or the
 #: workload generator's derivation scheme -- the result cache folds this
 #: number into every content address, so bumping it atomically invalidates
-#: every cached simulation produced under the old semantics.
-TRACE_FORMAT_VERSION = 1
+#: every cached simulation produced under the old semantics.  Version 2
+#: replaced the row-major fixed-width records with columnar sections.
+TRACE_FORMAT_VERSION = 2
+
+#: Container versions this build can *read* (writing always uses the
+#: current version).
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 _HEADER_PREFIX = struct.Struct("<8sHI")
 _RECORD_COUNT = struct.Struct("<Q")
 _CRC = struct.Struct("<I")
-_RECORD = struct.Struct("<BBbbbbbQHI")
+#: The version-1 row-major record layout, kept for reading archived traces.
+_RECORD_V1 = struct.Struct("<BBbbbbbQHI")
 
-#: Maximum number of source registers a fixed-width record can carry.
-_MAX_SRCS = 4
-
-_FLAG_HAS_ADDRESS = 1 << 0
-_FLAG_MISPREDICTED = 1 << 1
-_FLAG_HAS_LATENCY = 1 << 2
-
-#: Stable instruction-class codes.  Appending is fine; reordering is a
-#: format change and requires a version bump.
-_ICLASS_BY_CODE: Tuple[InstrClass, ...] = (
-    InstrClass.INT_ALU,
-    InstrClass.FP_ALU,
-    InstrClass.BRANCH,
-    InstrClass.LOAD,
-    InstrClass.STORE,
-)
-_CODE_BY_ICLASS = {iclass: code for code, iclass in enumerate(_ICLASS_BY_CODE)}
+#: Bytes of columnar payload per instruction (sum of column item sizes).
+_ROW_BYTES = sum(itemsize for _name, _typecode, itemsize in COLUMN_LAYOUT)
 
 
 @dataclass(frozen=True)
@@ -122,49 +118,25 @@ class TraceArchive:
     trace: Trace
 
 
-def _encode_record(instruction: Instruction) -> bytes:
-    srcs = instruction.srcs
-    if len(srcs) > _MAX_SRCS:
-        raise TraceError(
-            f"instruction {instruction.seq} has {len(srcs)} sources; the fixed-width "
-            f"trace record holds at most {_MAX_SRCS}"
-        )
-    flags = 0
-    if instruction.address is not None:
-        flags |= _FLAG_HAS_ADDRESS
-    if instruction.mispredicted:
-        flags |= _FLAG_MISPREDICTED
-    if instruction.latency is not None:
-        flags |= _FLAG_HAS_LATENCY
-    padded = tuple(srcs) + (-1,) * (_MAX_SRCS - len(srcs))
-    return _RECORD.pack(
-        flags,
-        _CODE_BY_ICLASS[instruction.iclass],
-        -1 if instruction.dest is None else instruction.dest,
-        *padded,
-        instruction.address or 0,
-        instruction.size,
-        instruction.latency or 0,
-    )
+def _columns_from_v1_records(records: bytes, validate: bool = True) -> TraceColumns:
+    """Bulk-decode a version-1 row-major record section into columns.
 
-
-def _decode_record(seq: int, raw: bytes) -> Instruction:
-    flags, code, dest, s0, s1, s2, s3, address, size, latency = _RECORD.unpack(raw)
-    try:
-        iclass = _ICLASS_BY_CODE[code]
-    except IndexError:
-        raise TraceError(f"record {seq}: unknown instruction-class code {code}") from None
-    srcs = tuple(src for src in (s0, s1, s2, s3) if src >= 0)
-    return Instruction(
-        seq=seq,
-        iclass=iclass,
-        dest=None if dest < 0 else dest,
-        srcs=srcs,
-        address=address if flags & _FLAG_HAS_ADDRESS else None,
-        size=size,
-        mispredicted=bool(flags & _FLAG_MISPREDICTED),
-        latency=latency if flags & _FLAG_HAS_LATENCY else None,
-    )
+    ``struct.iter_unpack`` walks the whole section in one C-level pass, so
+    replaying archived v1 traces costs a single loop of array appends
+    instead of the historical per-record ``unpack`` + ``Instruction``
+    construction.
+    """
+    columns = TraceColumns()
+    append_row = columns.append_row
+    for flags, code, dest, s0, s1, s2, s3, address, size, latency in _RECORD_V1.iter_unpack(
+        records
+    ):
+        append_row(code, dest, s0, s1, s2, s3, address, size, flags, latency)
+    if validate:
+        columns.validate_canonical()
+    else:
+        columns.validate_codes()
+    return columns
 
 
 def _header_document(trace: Trace, params, seed: Optional[int]) -> dict:
@@ -198,24 +170,24 @@ def _parse_header(document: dict) -> TraceHeader:
         raise TraceError(f"malformed trace header: {exc}") from exc
 
 
-def _validate_prefix(prefix: bytes, label: str = "trace container") -> int:
-    """Check magic and version of a container prefix; return the header length.
+def _validate_prefix(prefix: bytes, label: str = "trace container") -> Tuple[int, int]:
+    """Check magic and version of a container prefix.
 
-    The single definition of the prefix contract, shared by the full parser
-    and the header-only reader so the two can never disagree about which
-    files are valid.
+    Returns ``(format version, header length)``.  The single definition of
+    the prefix contract, shared by the full parser and the header-only
+    reader so the two can never disagree about which files are valid.
     """
     if len(prefix) < _HEADER_PREFIX.size:
         raise TraceError(f"{label} is truncated (no header)")
     magic, version, header_length = _HEADER_PREFIX.unpack_from(prefix, 0)
     if magic != TRACE_FORMAT_MAGIC:
         raise TraceError(f"{label}: not a recorded trace (bad magic)")
-    if version != TRACE_FORMAT_VERSION:
+    if version not in SUPPORTED_TRACE_VERSIONS:
         raise TraceError(
             f"{label}: trace format version {version} is not supported "
-            f"(this build speaks version {TRACE_FORMAT_VERSION}); re-record the trace"
+            f"(this build reads versions {SUPPORTED_TRACE_VERSIONS}); re-record the trace"
         )
-    return header_length
+    return version, header_length
 
 
 def _decode_header(raw_header: bytes, label: str = "trace container") -> TraceHeader:
@@ -230,56 +202,121 @@ def _decode_header(raw_header: bytes, label: str = "trace container") -> TraceHe
 def trace_to_bytes(
     trace: Trace, params: Optional[WorkloadParameters] = None, seed: Optional[int] = None
 ) -> bytes:
-    """Serialise a trace (and its provenance) to the binary container format."""
+    """Serialise a trace (and its provenance) to the binary container format.
+
+    The instruction stream is written as columnar sections pulled straight
+    from :meth:`Trace.columns`, so serialising a generated (column-backed)
+    trace touches no instruction objects at all.
+    """
     header_json = json.dumps(
         _header_document(trace, params, seed), sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
-    records = b"".join(_encode_record(instruction) for instruction in trace)
+    columns = trace.columns()
+    sections = [columns.column_bytes(name) for name, _tc, _sz in COLUMN_LAYOUT]
+    crc = 0
+    for section in sections:
+        crc = zlib.crc32(section, crc)
     return b"".join(
         (
             _HEADER_PREFIX.pack(TRACE_FORMAT_MAGIC, TRACE_FORMAT_VERSION, len(header_json)),
             header_json,
             _RECORD_COUNT.pack(len(trace)),
-            records,
-            _CRC.pack(zlib.crc32(records)),
+            *sections,
+            _CRC.pack(crc),
         )
     )
 
 
-def trace_from_bytes(data: bytes) -> TraceArchive:
-    """Parse a binary container produced by :func:`trace_to_bytes`.
+def _parse_container(data, zero_copy: bool, owner=None, validate: bool = True) -> TraceArchive:
+    """Shared container parser over any bytes-like object.
 
-    Validates the magic, the format version, the record count and the
-    record checksum; any mismatch raises :class:`TraceError` rather than
-    silently replaying a different stream than was recorded.
+    ``zero_copy`` wraps the version-2 columnar sections as ``memoryview``
+    casts into ``data`` (keeping ``owner`` alive on the columns) instead of
+    copying them into fresh arrays.  ``validate=False`` skips the per-row
+    canonical-form check for containers this process (or a trusted parent)
+    just serialised itself; the CRC still guards integrity.
     """
-    header_length = _validate_prefix(data)
+    view = memoryview(data)
+    version, header_length = _validate_prefix(
+        bytes(view[: _HEADER_PREFIX.size]) if len(view) >= _HEADER_PREFIX.size else b""
+    )
     offset = _HEADER_PREFIX.size
-    if len(data) < offset + header_length:
+    if len(view) < offset + header_length:
         raise TraceError("trace container is truncated (incomplete header)")
-    header = _decode_header(data[offset : offset + header_length])
+    header = _decode_header(bytes(view[offset : offset + header_length]))
     offset += header_length
-    if len(data) < offset + _RECORD_COUNT.size:
+    if len(view) < offset + _RECORD_COUNT.size:
         raise TraceError("trace container is truncated (no record count)")
-    (count,) = _RECORD_COUNT.unpack_from(data, offset)
+    (count,) = _RECORD_COUNT.unpack_from(view, offset)
     offset += _RECORD_COUNT.size
     if count != header.num_instructions:
         raise TraceError(
             f"record count {count} disagrees with header ({header.num_instructions})"
         )
-    body_size = count * _RECORD.size
-    if len(data) < offset + body_size + _CRC.size:
+    if version == 1:
+        body_size = count * _RECORD_V1.size
+    else:
+        body_size = count * _ROW_BYTES
+    if len(view) < offset + body_size + _CRC.size:
         raise TraceError("trace container is truncated (incomplete records)")
-    records = data[offset : offset + body_size]
-    (expected_crc,) = _CRC.unpack_from(data, offset + body_size)
-    if zlib.crc32(records) != expected_crc:
+    body = view[offset : offset + body_size]
+    (expected_crc,) = _CRC.unpack_from(view, offset + body_size)
+    if zlib.crc32(body) != expected_crc:
         raise TraceError("trace records are corrupt (CRC mismatch)")
-    instructions: List[Instruction] = [
-        _decode_record(seq, records[seq * _RECORD.size : (seq + 1) * _RECORD.size])
-        for seq in range(count)
-    ]
-    trace = Trace(instructions, name=header.name, regions=header.regions)
+
+    if version == 1:
+        columns = _columns_from_v1_records(bytes(body), validate=validate)
+    else:
+        buffers = []
+        section_offset = 0
+        for _name, _typecode, itemsize in COLUMN_LAYOUT:
+            section_size = count * itemsize
+            buffers.append(body[section_offset : section_offset + section_size])
+            section_offset += section_size
+        if zero_copy and sys.byteorder == "little":
+            columns = TraceColumns.from_buffers(buffers, owner=owner)
+        else:
+            # Copying load (or a big-endian host, where the little-endian
+            # sections cannot be viewed natively): one bulk frombytes per
+            # column via the byteswap-aware materialiser.
+            columns = TraceColumns.from_buffers(buffers).materialized()
+        if validate:
+            columns.validate_canonical()
+        else:
+            columns.validate_codes()
+    trace = Trace.from_columns(columns, name=header.name, regions=header.regions)
     return TraceArchive(header=header, trace=trace)
+
+
+def trace_from_bytes(data: bytes, validate: bool = True) -> TraceArchive:
+    """Parse a binary container produced by :func:`trace_to_bytes`.
+
+    Validates the magic, the format version, the record count, the record
+    checksum and (unless ``validate=False``, reserved for bytes this
+    process trusts end to end) the canonical form of every row; any
+    mismatch raises :class:`TraceError` rather than silently replaying a
+    different stream than was recorded.  Version-2 containers load with one
+    bulk copy per column; version-1 containers are bulk-decoded with
+    ``struct.iter_unpack``.
+    """
+    return _parse_container(data, zero_copy=False, validate=validate)
+
+
+def trace_from_buffer(buffer, owner=None, validate: bool = True) -> TraceArchive:
+    """Parse a container from a caller-owned buffer without copying records.
+
+    The returned trace's columns are ``memoryview`` casts into ``buffer``
+    (for version-2 containers on little-endian hosts; other combinations
+    fall back to a copying load).  ``owner`` -- e.g. a
+    ``multiprocessing.shared_memory.SharedMemory`` segment -- is kept alive
+    by the columns, but the caller remains responsible for eventually
+    closing it after the trace is dropped.  Pass ``validate=False`` only
+    for buffers this process trusts end to end (the runner's own
+    shared-memory handoff does: the parent serialised the container from an
+    already-canonical trace moments earlier), keeping the attach
+    genuinely zero-cost.
+    """
+    return _parse_container(buffer, zero_copy=True, owner=owner, validate=validate)
 
 
 def save_trace(
@@ -320,7 +357,9 @@ def read_trace_header(path: Union[str, Path]) -> TraceHeader:
     source = Path(path)
     try:
         with source.open("rb") as handle:
-            header_length = _validate_prefix(handle.read(_HEADER_PREFIX.size), str(source))
+            _version, header_length = _validate_prefix(
+                handle.read(_HEADER_PREFIX.size), str(source)
+            )
             raw_header = handle.read(header_length)
     except OSError as exc:
         raise TraceError(f"cannot read trace {source}: {exc}") from exc

@@ -32,14 +32,47 @@ addresses, never cycle counts.  All timing emerges from the processor models.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.common.errors import WorkloadError
 from repro.common.rng import DeterministicRng
-from repro.isa.instruction import FP_REGISTER_BASE, InstrClass, Instruction
+from repro.isa.columns import (
+    CODE_BRANCH,
+    CODE_FP_ALU,
+    CODE_INT_ALU,
+    CODE_LOAD,
+    CODE_STORE,
+    FLAG_HAS_ADDRESS,
+    FLAG_MISPREDICTED,
+    TraceColumns,
+)
+from repro.isa.instruction import FP_REGISTER_BASE, InstrClass
 from repro.isa.trace import RegionFootprint, Trace
+
+#: Environment knob forcing eager materialisation of the instruction-object
+#: list after generation.  The generator always *emits* columns; with this
+#: set (any value but ``"" ``/``"0"``) it additionally pays the per-object
+#: construction cost up front, restoring the pre-columnar generation profile
+#: for comparison (the CI ``bench-profile`` step uses it) and serving as a
+#: safety hatch for object-API-heavy callers.
+TRACE_OBJECTS_ENV = "REPRO_TRACE_OBJECTS"
+
+
+def _pad4(srcs: Tuple[int, ...]) -> Tuple[int, int, int, int]:
+    """Pad a source tuple (at most four registers) to the fixed column width."""
+    count = len(srcs)
+    if count == 0:
+        return (-1, -1, -1, -1)
+    if count == 1:
+        return (srcs[0], -1, -1, -1)
+    if count == 2:
+        return (srcs[0], srcs[1], -1, -1)
+    if count == 3:
+        return (srcs[0], srcs[1], srcs[2], -1)
+    return (srcs[0], srcs[1], srcs[2], srcs[3])
 
 #: Integer registers reserved as always-available base registers (stack/global
 #: pointers).  They are written once at the start of a trace and then only
@@ -263,7 +296,16 @@ class SyntheticWorkload:
         self._seed = parameters.seed if seed is None else seed
 
     def generate(self, num_instructions: int) -> Trace:
-        """Generate a trace of exactly ``num_instructions`` instructions."""
+        """Generate a trace of exactly ``num_instructions`` instructions.
+
+        The stream is emitted straight into columnar storage
+        (:class:`~repro.isa.columns.TraceColumns`): no per-instruction
+        dataclass is allocated unless an object-API consumer later asks for
+        one.  The random draws are identical to the historical object-built
+        path, so the resulting trace is bit-identical either way (asserted
+        by ``tests/test_columns.py``); setting :data:`TRACE_OBJECTS_ENV`
+        additionally materialises the object list eagerly.
+        """
         if num_instructions < 0:
             raise WorkloadError(f"num_instructions must be non-negative, got {num_instructions}")
         params = self.parameters
@@ -278,7 +320,9 @@ class SyntheticWorkload:
         if sum(compute_weights) <= 0:
             compute_weights = list(region_weights)
 
-        instructions: List[Instruction] = []
+        columns = TraceColumns()
+        append_row = columns.append_row
+        count = 0
         recent_registers: Deque[_RegisterRecord] = deque(maxlen=64)
         far_load_registers: Deque[_RegisterRecord] = deque(maxlen=len(_POINTER_REGISTERS))
         recent_stores: Deque[_StoreRecord] = deque(maxlen=params.forwarding_distance_max)
@@ -288,19 +332,13 @@ class SyntheticWorkload:
 
         # Seed the base registers so early address calculations have producers.
         for base_register in _BASE_REGISTERS:
-            if len(instructions) >= num_instructions:
+            if count >= num_instructions:
                 break
-            instructions.append(
-                Instruction(
-                    seq=len(instructions),
-                    iclass=InstrClass.INT_ALU,
-                    dest=base_register,
-                    srcs=(),
-                )
-            )
+            append_row(CODE_INT_ALU, base_register, -1, -1, -1, -1, 0, 8, 0, 0)
+            count += 1
 
-        while len(instructions) < num_instructions:
-            seq = len(instructions)
+        while count < num_instructions:
+            seq = count
             weights = (
                 region_weights
                 if self._in_memory_phase(seq)
@@ -308,11 +346,13 @@ class SyntheticWorkload:
             )
             iclass = self._pick_class(rng)
             if iclass is InstrClass.LOAD:
-                instruction, record = self._make_load(
+                dest, srcs, address, size, record = self._make_load(
                     seq, rng, cursors, weights, recent_stores, far_load_registers,
                     _INT_DEST_REGISTERS[int_dest_cursor],
                     _POINTER_REGISTERS[pointer_dest_cursor],
                 )
+                s0, s1, s2, s3 = _pad4(srcs)
+                append_row(CODE_LOAD, dest, s0, s1, s2, s3, address, size, FLAG_HAS_ADDRESS, 0)
                 if record.from_far_load:
                     pointer_dest_cursor = (pointer_dest_cursor + 1) % len(_POINTER_REGISTERS)
                     far_load_registers.append(record)
@@ -320,25 +360,36 @@ class SyntheticWorkload:
                     int_dest_cursor = (int_dest_cursor + 1) % len(_INT_DEST_REGISTERS)
                 recent_registers.append(record)
             elif iclass is InstrClass.STORE:
-                instruction = self._make_store(
+                srcs, address, size = self._make_store(
                     seq, rng, cursors, weights, recent_registers, far_load_registers,
                     recent_stores,
                 )
+                s0, s1, s2, s3 = _pad4(srcs)
+                append_row(CODE_STORE, -1, s0, s1, s2, s3, address, size, FLAG_HAS_ADDRESS, 0)
             elif iclass is InstrClass.BRANCH:
-                instruction = self._make_branch(seq, rng, recent_registers, far_load_registers)
+                srcs, mispredicted = self._make_branch(
+                    seq, rng, recent_registers, far_load_registers
+                )
+                s0, s1, s2, s3 = _pad4(srcs)
+                append_row(
+                    CODE_BRANCH, -1, s0, s1, s2, s3, 0, 8,
+                    FLAG_MISPREDICTED if mispredicted else 0, 0,
+                )
             elif iclass is InstrClass.FP_ALU:
                 dest = _FP_DEST_REGISTERS[fp_dest_cursor]
                 fp_dest_cursor = (fp_dest_cursor + 1) % len(_FP_DEST_REGISTERS)
                 srcs = self._pick_alu_sources(rng, recent_registers, far_load_registers)
-                instruction = Instruction(seq=seq, iclass=InstrClass.FP_ALU, dest=dest, srcs=srcs)
+                s0, s1, s2, s3 = _pad4(srcs)
+                append_row(CODE_FP_ALU, dest, s0, s1, s2, s3, 0, 8, 0, 0)
                 recent_registers.append(_RegisterRecord(dest, seq, from_far_load=False))
             else:
                 dest = _INT_DEST_REGISTERS[int_dest_cursor]
                 int_dest_cursor = (int_dest_cursor + 1) % len(_INT_DEST_REGISTERS)
                 srcs = self._pick_alu_sources(rng, recent_registers, far_load_registers)
-                instruction = Instruction(seq=seq, iclass=InstrClass.INT_ALU, dest=dest, srcs=srcs)
+                s0, s1, s2, s3 = _pad4(srcs)
+                append_row(CODE_INT_ALU, dest, s0, s1, s2, s3, 0, 8, 0, 0)
                 recent_registers.append(_RegisterRecord(dest, seq, from_far_load=False))
-            instructions.append(instruction)
+            count += 1
 
         footprints = tuple(
             RegionFootprint(
@@ -350,7 +401,10 @@ class SyntheticWorkload:
             )
             for cursor in cursors
         )
-        return Trace(instructions, name=params.name, regions=footprints)
+        trace = Trace.from_columns(columns, name=params.name, regions=footprints)
+        if os.environ.get(TRACE_OBJECTS_ENV, "0") not in ("", "0"):
+            trace.instructions()
+        return trace
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -439,7 +493,8 @@ class SyntheticWorkload:
         far_load_registers: Deque[_RegisterRecord],
         normal_dest: int,
         pointer_dest: int,
-    ) -> Tuple[Instruction, _RegisterRecord]:
+    ) -> Tuple[int, Tuple[int, ...], int, int, _RegisterRecord]:
+        """Draw one load; returns ``(dest, srcs, address, size, record)``."""
         params = self.parameters
         size = self._pick_access_size(rng)
 
@@ -448,15 +503,13 @@ class SyntheticWorkload:
             distance = rng.geometric(params.forwarding_distance_mean, len(recent_stores))
             store_record = recent_stores[-distance]
             srcs = (rng.choice(_BASE_REGISTERS),)
-            instruction = Instruction(
-                seq=seq,
-                iclass=InstrClass.LOAD,
-                dest=normal_dest,
-                srcs=srcs,
-                address=store_record.address,
-                size=min(size, store_record.size),
+            return (
+                normal_dest,
+                srcs,
+                store_record.address,
+                min(size, store_record.size),
+                _RegisterRecord(normal_dest, seq, from_far_load=False),
             )
-            return instruction, _RegisterRecord(normal_dest, seq, from_far_load=False)
 
         srcs, chased = self._pick_address_sources(
             rng, far_load_registers, params.chased_load_fraction
@@ -465,10 +518,7 @@ class SyntheticWorkload:
         address = cursor.next_address()
         from_far = cursor.region.is_far or chased
         dest = pointer_dest if from_far else normal_dest
-        instruction = Instruction(
-            seq=seq, iclass=InstrClass.LOAD, dest=dest, srcs=srcs, address=address, size=size
-        )
-        return instruction, _RegisterRecord(dest, seq, from_far_load=from_far)
+        return dest, srcs, address, size, _RegisterRecord(dest, seq, from_far_load=from_far)
 
     def _make_store(
         self,
@@ -479,7 +529,8 @@ class SyntheticWorkload:
         recent_registers: Deque[_RegisterRecord],
         far_load_registers: Deque[_RegisterRecord],
         recent_stores: Deque[_StoreRecord],
-    ) -> Instruction:
+    ) -> Tuple[Tuple[int, ...], int, int]:
+        """Draw one store; returns ``(srcs, address, size)``."""
         params = self.parameters
         size = self._pick_access_size(rng)
         address_srcs, _chased = self._pick_address_sources(
@@ -490,16 +541,8 @@ class SyntheticWorkload:
         data_src = (
             recent_registers[-1].register if recent_registers else rng.choice(_BASE_REGISTERS)
         )
-        instruction = Instruction(
-            seq=seq,
-            iclass=InstrClass.STORE,
-            dest=None,
-            srcs=address_srcs + (data_src,),
-            address=address,
-            size=size,
-        )
         recent_stores.append(_StoreRecord(seq=seq, address=address, size=size))
-        return instruction
+        return address_srcs + (data_src,), address, size
 
     def _make_branch(
         self,
@@ -507,7 +550,8 @@ class SyntheticWorkload:
         rng: DeterministicRng,
         recent_registers: Deque[_RegisterRecord],
         far_load_registers: Deque[_RegisterRecord],
-    ) -> Instruction:
+    ) -> Tuple[Tuple[int, ...], bool]:
+        """Draw one branch; returns ``(srcs, mispredicted)``."""
         params = self.parameters
         mispredicted = rng.chance(params.branch_mispredict_rate)
         if (
@@ -521,6 +565,4 @@ class SyntheticWorkload:
             srcs = (recent_registers[-distance].register,)
         else:
             srcs = (rng.choice(_BASE_REGISTERS),)
-        return Instruction(
-            seq=seq, iclass=InstrClass.BRANCH, dest=None, srcs=srcs, mispredicted=mispredicted
-        )
+        return srcs, mispredicted

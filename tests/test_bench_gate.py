@@ -167,3 +167,62 @@ def test_cli_gate_exit_codes(tmp_path):
         cwd=tmp_path,
     )
     assert done.returncode == 2
+
+
+def test_bench_artifact_is_self_describing(tmp_path):
+    """The artifact records engine, git revision and a per-phase breakdown
+    whose serial phases account for (almost all of) the serial wall time."""
+    output = tmp_path / "bench.json"
+    done = run_cli(
+        [
+            "bench",
+            "--figures", "fig7",
+            "--instructions", "300",
+            "--jobs", "2",
+            "--output", str(output),
+        ],
+        cwd=tmp_path,
+    )
+    assert done.returncode == 0, done.stderr
+    artifact = json.loads(output.read_text())
+    assert artifact["engine"] == "fast"
+    assert "git_revision" in artifact  # None outside a checkout, hash inside
+    figure = artifact["figures"]["fig7"]
+    serial_phases = figure["phases"]["serial"]
+    assert set(serial_phases) >= {"generation", "build", "warmup", "drive"}
+    phase_sum = sum(serial_phases.values())
+    assert phase_sum <= figure["serial_seconds"] * 1.05
+    assert phase_sum >= figure["serial_seconds"] * 0.5, (
+        f"phases {serial_phases} explain too little of "
+        f"{figure['serial_seconds']}s serial wall time"
+    )
+    assert "parallel" in figure["phases"]
+
+
+def test_git_revision_is_the_package_checkout_not_the_cwd(tmp_path):
+    """The artifact must record the revision of the repro code itself, even
+    when bench runs from an unrelated directory (or an unrelated repo)."""
+    import os
+    import subprocess
+
+    from _helpers import REPO_ROOT
+
+    from repro.exp.cli import _git_revision
+
+    expected = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+        capture_output=True,
+        text=True,
+    ).stdout.strip()
+    # From an unrelated plain directory -- and from an unrelated *git repo*
+    # -- the resolved revision must still be this package's checkout.
+    foreign = tmp_path / "foreign"
+    foreign.mkdir()
+    subprocess.run(["git", "init", "-q", str(foreign)], check=True)
+    cwd = os.getcwd()
+    try:
+        for where in (tmp_path, foreign):
+            os.chdir(where)
+            assert _git_revision() == expected
+    finally:
+        os.chdir(cwd)

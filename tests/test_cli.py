@@ -9,6 +9,8 @@ from pathlib import Path
 
 from _helpers import REPO_ROOT, SRC_DIR, run_cli, subprocess_env
 
+from repro.trace import TRACE_FORMAT_VERSION
+
 
 def test_figure_cold_then_warm_cache(tmp_path: Path) -> None:
     """A warm second invocation must complete via cache with zero simulations."""
@@ -153,7 +155,7 @@ def test_trace_record_info_replay(tmp_path: Path) -> None:
     info = run_cli(["trace", "info", "g.rtrace"], cwd=tmp_path)
     assert info.returncode == 0, info.stderr
     assert "gcc_like" in info.stdout
-    assert "format version  : 1" in info.stdout
+    assert f"format version  : {TRACE_FORMAT_VERSION}" in info.stdout
     assert "recorded" in info.stdout  # workload params travelled along
 
     replay = run_cli(

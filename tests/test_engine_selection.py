@@ -98,6 +98,61 @@ def test_campaign_context_rejects_unknown_engines_eagerly() -> None:
         campaign_context(engine="warp")
 
 
+def test_analytic_warm_state_matches_reference_across_geometries() -> None:
+    """The closed-form warm-up equals the reference replay for every paper
+    machine geometry, swept cache shapes, and overlapping footprints (which
+    must take the reference-replay fallback)."""
+    from dataclasses import replace
+
+    from repro.common.config import MemoryHierarchyConfig
+    from repro.isa.trace import RegionFootprint
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.sim.configs import PAPER_CONFIGS, machine_by_name
+    from repro.workloads.families import family_suites
+
+    region_sets = [
+        generate_member_trace(member, 50, seed=TEST_SEED).regions
+        for suite in (quick_int_suite(), family_suites()["streaming"])
+        for member in suite
+    ]
+    # Overlapping / duplicate-line footprints: the closed form declines and
+    # the fallback must still capture the reference state.
+    region_sets.append(
+        (
+            RegionFootprint("low", 4096, 64 * 1024, 1.0, "stream"),
+            RegionFootprint("high", 4096 + 16 * 1024, 64 * 1024, 3.0, "random"),
+        )
+    )
+    default = MemoryHierarchyConfig()
+    geometries = {(config.l1, config.l2): config for config in (
+        [machine_by_name(name).hierarchy for name in PAPER_CONFIGS]
+        + [
+            default,
+            replace(default, l1=replace(default.l1, size_bytes=8 * 1024)),
+            replace(default, l2=replace(default.l2, associativity=4)),
+            replace(default, l1=replace(default.l1, associativity=1)),
+        ]
+    )}
+    clear_warm_memo()
+    try:
+        for config in geometries.values():
+            for regions in region_sets:
+                reference = MemoryHierarchy(config)
+                reference.warm_up_regions(regions)
+                warmed = MemoryHierarchy(config)
+                warm_hierarchy(warmed, regions)
+                assert warmed.l1._tags == reference.l1._tags
+                assert warmed.l2._tags == reference.l2._tags
+                assert [lru._order for lru in warmed.l1._lru] == [
+                    lru._order for lru in reference.l1._lru
+                ]
+                assert [lru._order for lru in warmed.l2._lru] == [
+                    lru._order for lru in reference.l2._lru
+                ]
+    finally:
+        clear_warm_memo()
+
+
 def test_warm_memo_restores_identical_cache_state() -> None:
     """Memo-restored hierarchies match a freshly warmed one exactly."""
     from repro.memory.hierarchy import MemoryHierarchy

@@ -137,6 +137,111 @@ def test_synthetic_slow_job_sees_parallel_speedup(monkeypatch):
 
 
 @needs_fork
+def test_shared_memory_handoff_matches_serial(monkeypatch):
+    """Traces shipped to workers as shared-memory columnar bytes simulate
+    bit-identically to inline (regenerate-in-process) execution."""
+    jobs = _jobs(4)
+    serial = ExperimentRunner(jobs=1).run_batch(jobs)
+    monkeypatch.setattr(runner_module, "available_cpus", lambda: 2)
+    monkeypatch.delenv(runner_module.SHM_ENV, raising=False)
+    with ExperimentRunner(jobs=2, start_method="fork") as runner:
+        parallel = runner.run_batch(jobs)
+    assert serial.keys() == parallel.keys()
+    for key, result in serial.items():
+        assert parallel[key] == result
+
+
+@needs_fork
+def test_pickled_bytes_fallback_matches_serial(monkeypatch):
+    """REPRO_SHM=0 ships container bytes through the task pickle instead of
+    shared memory; results stay bit-identical."""
+    jobs = _jobs(4)
+    serial = ExperimentRunner(jobs=1).run_batch(jobs)
+    monkeypatch.setattr(runner_module, "available_cpus", lambda: 2)
+    monkeypatch.setenv(runner_module.SHM_ENV, "0")
+    assert not runner_module._shm_enabled()
+    with ExperimentRunner(jobs=2, start_method="fork") as runner:
+        parallel = runner.run_batch(jobs)
+    for key, result in serial.items():
+        assert parallel[key] == result
+
+
+def test_shipped_payload_preempts_worker_generation(monkeypatch):
+    """A worker receiving a trace payload must not regenerate the stream."""
+    captured = {}
+
+    def _forbid_generation(*_args, **_kwargs):
+        raise AssertionError("worker regenerated a shipped trace")
+
+    class _FakePool:
+        def map(self, func, iterable, chunksize=None):
+            captured["tasks"] = list(iterable)
+            # Payloads are fully built by now: from here on, any generation
+            # call means the handoff was dropped on the floor.
+            monkeypatch.setattr(runner_module, "generate_member_trace", _forbid_generation)
+            results = []
+            for task in iterable:
+                runner_module.clear_trace_memo()  # simulate a cold worker
+                results.append(func(task))
+            return results
+
+    monkeypatch.setattr(runner_module, "available_cpus", lambda: 2)
+    runner = ExperimentRunner(jobs=2)
+    monkeypatch.setattr(runner, "_ensure_pool", lambda workers: _FakePool())
+    jobs = _jobs(4)
+    expected = ExperimentRunner(jobs=1).run_batch(jobs)
+    results = runner.run_batch(jobs)
+    assert {task.payload[0] for task in captured["tasks"]} <= {"shm", "bytes"}
+    for key, result in expected.items():
+        assert results[key] == result
+    runner_module.clear_trace_memo()
+
+
+def test_failed_shm_attach_closes_the_segment(monkeypatch):
+    """A segment that attaches but does not parse must be unmapped, not
+    leaked: nothing else ever learns about it in a long-lived worker."""
+    from multiprocessing import shared_memory
+
+    from repro.common.errors import TraceError
+
+    created = {}
+    real_cls = shared_memory.SharedMemory
+
+    class _Tracking(real_cls):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created["segment"] = self
+
+    garbage = real_cls(create=True, size=32)  # not a trace container
+    try:
+        monkeypatch.setattr(shared_memory, "SharedMemory", _Tracking)
+        ledger_before = len(runner_module._ATTACHED_SEGMENTS)
+        with pytest.raises(TraceError):
+            runner_module._attach_shipped_trace(("shm", garbage.name))
+        attached = created["segment"]
+        # Either the mapping closed outright, or (when the in-flight
+        # traceback still pinned buffer views) it was parked on the sweep
+        # ledger with a dead ref; the next sweep must then reclaim it.
+        runner_module._sweep_attached_segments()
+        assert attached._mmap is None  # unmapped either way
+        assert len(runner_module._ATTACHED_SEGMENTS) <= ledger_before
+        assert all(seg is not attached for _ref, seg in runner_module._ATTACHED_SEGMENTS)
+    finally:
+        monkeypatch.undo()
+        # _attach_shipped_trace unregistered the name from the resource
+        # tracker (the parent normally owns cleanup); re-register so this
+        # test's own unlink() keeps the tracker's books balanced.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(garbage._name, "shared_memory")
+        except Exception:
+            pass
+        garbage.close()
+        garbage.unlink()
+
+
+@needs_fork
 def test_chunked_dispatch_groups_jobs_by_workload(monkeypatch):
     """The batch is sorted by workload before chunking (trace reuse per worker)."""
     captured = {}

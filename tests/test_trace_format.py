@@ -30,7 +30,15 @@ from repro.trace import (
     trace_from_bytes,
     trace_to_bytes,
 )
-from repro.trace.format import _HEADER_PREFIX
+from repro.trace.format import (
+    _CRC,
+    _HEADER_PREFIX,
+    _RECORD_COUNT,
+    _RECORD_V1,
+    SUPPORTED_TRACE_VERSIONS,
+    TRACE_FORMAT_MAGIC,
+    _header_document,
+)
 from repro.workloads.families import (
     branchy_filter,
     gather_scan,
@@ -172,6 +180,155 @@ def test_replay_is_bit_identical_on_the_baseline_core(tmp_path: Path) -> None:
     replay = Simulator(ooo_64()).run_trace(load_trace(tmp_path / "b.rtrace"))
     fresh = Simulator(ooo_64()).run_trace(generated)
     assert replay == fresh
+
+
+# ----------------------------------------------------------------------
+# Archived version-1 containers stay readable
+# ----------------------------------------------------------------------
+
+
+def _v1_container_bytes(trace: Trace, params=None, seed=None) -> bytes:
+    """Re-create the historical row-major version-1 container byte-for-byte."""
+    import json
+    import zlib
+
+    document = _header_document(trace, params, seed)
+    document["format_version"] = 1
+    header_json = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    records = []
+    codes = {"int_alu": 0, "fp_alu": 1, "branch": 2, "load": 3, "store": 4}
+    for instruction in trace:
+        flags = (
+            (1 if instruction.address is not None else 0)
+            | (2 if instruction.mispredicted else 0)
+            | (4 if instruction.latency is not None else 0)
+        )
+        padded = tuple(instruction.srcs) + (-1,) * (4 - len(instruction.srcs))
+        records.append(
+            _RECORD_V1.pack(
+                flags,
+                codes[instruction.iclass.value],
+                -1 if instruction.dest is None else instruction.dest,
+                *padded,
+                instruction.address or 0,
+                instruction.size,
+                instruction.latency or 0,
+            )
+        )
+    body = b"".join(records)
+    return b"".join(
+        (
+            _HEADER_PREFIX.pack(TRACE_FORMAT_MAGIC, 1, len(header_json)),
+            header_json,
+            _RECORD_COUNT.pack(len(trace)),
+            body,
+            _CRC.pack(zlib.crc32(body)),
+        )
+    )
+
+
+def test_version_constants() -> None:
+    assert TRACE_FORMAT_VERSION == 2
+    assert TRACE_FORMAT_VERSION in SUPPORTED_TRACE_VERSIONS
+    assert 1 in SUPPORTED_TRACE_VERSIONS  # archived recordings stay loadable
+
+
+def test_archived_v1_container_loads_bit_identically(small_workload_params) -> None:
+    """A pre-bump recording decodes to the exact same stream and replays
+    identically -- the bulk ``iter_unpack`` path must not regress meaning."""
+    trace = generate_member_trace(small_workload_params, 1000, seed=TEST_SEED)
+    archive = trace_from_bytes(
+        _v1_container_bytes(trace, params=small_workload_params, seed=TEST_SEED)
+    )
+    assert archive.header.format_version == 1  # reports the recorded version
+    assert _traces_equal(archive.trace, trace)
+    simulator = Simulator(fmc_hash())
+    assert simulator.run_trace(archive.trace) == simulator.run_trace(trace)
+
+
+def test_archived_v1_header_reads_without_records(tmp_path: Path, tiny_trace) -> None:
+    path = tmp_path / "old.rtrace"
+    path.write_bytes(_v1_container_bytes(tiny_trace))
+    header = read_trace_header(path)
+    assert header.format_version == 1
+    assert header.num_instructions == len(tiny_trace)
+
+
+def test_archived_v1_corruption_still_caught(tiny_trace) -> None:
+    data = bytearray(_v1_container_bytes(tiny_trace))
+    data[-6] ^= 0xFF  # inside the record section
+    with pytest.raises(TraceError, match="CRC|corrupt"):
+        trace_from_bytes(bytes(data))
+
+
+# ----------------------------------------------------------------------
+# Non-canonical containers are rejected, not mis-simulated
+# ----------------------------------------------------------------------
+
+
+def _mutated_v2(trace: Trace, column: str, row: int, value: int) -> bytes:
+    """Container bytes for ``trace`` with one column entry overwritten
+    (CRC recomputed, so only the canonical-form validation can object)."""
+    import zlib
+    from array import array
+
+    from repro.isa.columns import COLUMN_LAYOUT
+
+    blob = trace_to_bytes(trace)
+    header_length = _HEADER_PREFIX.unpack_from(blob, 0)[2]
+    offset = _HEADER_PREFIX.size + header_length + _RECORD_COUNT.size
+    mutated = bytearray(blob)
+    section_offset = offset
+    for name, typecode, itemsize in COLUMN_LAYOUT:
+        if name == column:
+            cell = array(typecode, [value]).tobytes()
+            mutated[
+                section_offset + row * itemsize : section_offset + (row + 1) * itemsize
+            ] = cell
+            break
+        section_offset += len(trace) * itemsize
+    body = bytes(mutated[offset : offset + len(trace) * 21])
+    _CRC.pack_into(mutated, offset + len(trace) * 21, zlib.crc32(body))
+    return bytes(mutated)
+
+
+@pytest.mark.parametrize(
+    "column,value,match",
+    [
+        ("src0", -1, "left-packed"),      # absent slot before a present source
+        ("flags", 0, "without an address"),  # load loses its has-address flag
+        ("flags", 3, "mispredicted"),     # mispredict flag on a memory op
+        ("size", 0, "size must be positive"),
+        ("iclass", 9, "unknown instruction-class"),
+    ],
+)
+def test_non_canonical_v2_rows_are_rejected(column, value, match) -> None:
+    """CRC-valid but non-canonical rows must fail loudly at load: the fast
+    engine's columnar assumptions and the reference engine's object
+    validation would otherwise disagree about the same file."""
+    trace = Trace(
+        [
+            Instruction(seq=0, iclass=InstrClass.INT_ALU, dest=1, srcs=()),
+            Instruction(seq=1, iclass=InstrClass.LOAD, dest=2, srcs=(1, 1), address=64),
+        ],
+        name="canon",
+    )
+    with pytest.raises(TraceError, match=match):
+        trace_from_bytes(_mutated_v2(trace, column, 1, value))
+
+
+def test_non_canonical_v1_rows_are_rejected(tiny_trace) -> None:
+    """The bulk v1 decoder keeps the historical loader's strictness."""
+    import zlib
+
+    blob = bytearray(_v1_container_bytes(tiny_trace))
+    offset = len(blob) - _CRC.size - len(tiny_trace) * _RECORD_V1.size
+    # Record 1 is the store: clear its has-address flag.
+    blob[offset + 1 * _RECORD_V1.size] = 0
+    body = bytes(blob[offset : offset + len(tiny_trace) * _RECORD_V1.size])
+    _CRC.pack_into(blob, len(blob) - _CRC.size, zlib.crc32(body))
+    with pytest.raises(TraceError, match="without an address"):
+        trace_from_bytes(bytes(blob))
 
 
 # ----------------------------------------------------------------------
