@@ -16,10 +16,56 @@ the request:
   structures rather than bad user input).
 * :class:`ServiceError` -- the simulation service (:mod:`repro.service`)
   rejected or failed a request; :class:`ServiceOverloadedError` is the
-  admission-control subcase (HTTP 429, the job queue is full).
+  admission-control subcase (HTTP 429, a queue or tenant quota is full).
+
+The service's **error taxonomy** also lives here (shared by the server and
+the client SDK, which must agree on it): every error body carries a stable
+machine-readable :class:`ErrorCode` so callers branch on ``code`` instead of
+string-matching messages.
 """
 
 from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class ErrorCode(str, enum.Enum):
+    """Machine-readable error codes carried in every service error body.
+
+    The code is the contract: messages are free to change wording, but the
+    code a given failure maps to is stable.  ``ServiceClient`` raises
+    :class:`ServiceOverloadedError` for the two admission codes and plain
+    :class:`ServiceError` otherwise.
+    """
+
+    #: Malformed request: bad JSON, bad envelope, invalid parameters.
+    BAD_REQUEST = "bad_request"
+    #: The tenant requires an auth token and none (or a wrong one) was sent.
+    UNAUTHORIZED = "unauthorized"
+    #: Unknown endpoint, job id or cache key.
+    NOT_FOUND = "not_found"
+    #: Known endpoint, wrong HTTP method.
+    METHOD_NOT_ALLOWED = "method_not_allowed"
+    #: Global admission control: the server-wide queue is full.
+    OVERLOADED = "overloaded"
+    #: Per-tenant admission control: this tenant's quota is exhausted
+    #: (other tenants may still be admitted).
+    TENANT_QUOTA_EXCEEDED = "tenant_quota_exceeded"
+    #: The server failed while handling the request.
+    INTERNAL = "internal"
+
+
+#: The HTTP status each error code is served with.
+HTTP_STATUS_FOR_CODE = {
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.UNAUTHORIZED: 401,
+    ErrorCode.NOT_FOUND: 404,
+    ErrorCode.METHOD_NOT_ALLOWED: 405,
+    ErrorCode.OVERLOADED: 429,
+    ErrorCode.TENANT_QUOTA_EXCEEDED: 429,
+    ErrorCode.INTERNAL: 500,
+}
 
 
 class ReproError(Exception):
@@ -47,4 +93,29 @@ class ServiceError(ReproError, RuntimeError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """Admission control rejected a submission because the job queue is full."""
+    """Admission control rejected a submission (queue or tenant quota full).
+
+    Carries the structured fields the wire error body exposes, so callers
+    can back off without parsing the message:
+
+    * ``code`` -- :data:`ErrorCode.OVERLOADED` (server-wide queue full) or
+      :data:`ErrorCode.TENANT_QUOTA_EXCEEDED` (this tenant's quota, other
+      tenants unaffected);
+    * ``tenant`` -- the tenant whose submission was rejected (``None`` when
+      the rejection was global);
+    * ``retry_after`` -- the server's backoff hint in seconds (the
+      ``Retry-After`` header), ``None`` when the server sent no hint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: ErrorCode = ErrorCode.OVERLOADED,
+        tenant: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = ErrorCode(code)
+        self.tenant = tenant
+        self.retry_after = retry_after

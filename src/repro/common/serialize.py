@@ -129,43 +129,104 @@ def _build_dataclass(cls: Type[_T], data: Any) -> _T:
 #: :mod:`repro.service` is wrapped in an envelope carrying this number, so a
 #: client and server disagreeing about the schema fail loudly instead of
 #: misinterpreting payloads.  Bump on any incompatible payload change.
-WIRE_SCHEMA_VERSION = 1
+#:
+#: Version 2 added the optional tenancy fields at the envelope level
+#: (``tenant``, ``priority``) plus ``schema_version`` naming the payload's
+#: own schema.  Version-1 envelopes remain accepted (mapped to the default
+#: tenant and the batch lane, with a deprecation note in responses).
+WIRE_SCHEMA_VERSION = 2
+
+#: Envelope versions this build still reads.
+SUPPORTED_WIRE_SCHEMAS = (1, 2)
 
 
-def wire_envelope(kind: str, payload: Any) -> Dict[str, Any]:
+@dataclasses.dataclass(frozen=True)
+class WireEnvelope:
+    """A validated wire envelope, with the v2 transport fields exposed.
+
+    ``tenant`` / ``priority`` / ``schema_version`` are ``None`` for v1
+    envelopes (and for v2 envelopes that omit them); :attr:`deprecated`
+    tells the server to attach a migration note to its response.
+    """
+
+    kind: str
+    payload: Any
+    wire_schema: int
+    tenant: Any = None
+    priority: Any = None
+    schema_version: Any = None
+
+    @property
+    def deprecated(self) -> bool:
+        return self.wire_schema < WIRE_SCHEMA_VERSION
+
+
+def wire_envelope(
+    kind: str,
+    payload: Any,
+    *,
+    tenant: Any = None,
+    priority: Any = None,
+    schema_version: Any = None,
+    wire_schema: int = WIRE_SCHEMA_VERSION,
+) -> Dict[str, Any]:
     """Wrap ``payload`` in a versioned wire envelope.
 
     The envelope is the unit every service endpoint sends and receives:
     ``{"wire_schema": N, "kind": "<message type>", "payload": <JSON>}``.
-    ``payload`` may be any :func:`to_jsonable`-serialisable object.
+    Version-2 envelopes additionally carry ``tenant`` / ``priority``
+    (admission metadata for submissions) and ``schema_version`` (the
+    payload's own schema number) when provided.  ``payload`` may be any
+    :func:`to_jsonable`-serialisable object.
     """
-    return {
-        "wire_schema": WIRE_SCHEMA_VERSION,
+    document: Dict[str, Any] = {
+        "wire_schema": wire_schema,
         "kind": kind,
         "payload": to_jsonable(payload),
     }
+    if wire_schema >= 2:
+        if tenant is not None:
+            document["tenant"] = tenant
+        if priority is not None:
+            document["priority"] = priority
+        if schema_version is not None:
+            document["schema_version"] = schema_version
+    return document
 
 
-def open_envelope(data: Any, kind: str) -> Any:
-    """Validate a wire envelope and return its payload.
+def read_envelope(data: Any, kind: str) -> WireEnvelope:
+    """Validate a wire envelope (any supported version) and return it whole.
 
     Raises :class:`ConfigurationError` when ``data`` is not an envelope, its
-    schema version does not match or its kind is not the expected one.
+    schema version is unsupported or its kind is not the expected one.
     """
     if not isinstance(data, Mapping):
         raise ConfigurationError(
             f"expected a wire envelope mapping, got {type(data).__name__}"
         )
     schema = data.get("wire_schema")
-    if schema != WIRE_SCHEMA_VERSION:
+    if schema not in SUPPORTED_WIRE_SCHEMAS:
         raise ConfigurationError(
-            f"unsupported wire schema {schema!r} (this build speaks {WIRE_SCHEMA_VERSION})"
+            f"unsupported wire schema {schema!r} "
+            f"(this build speaks {', '.join(map(str, SUPPORTED_WIRE_SCHEMAS))})"
         )
     if data.get("kind") != kind:
         raise ConfigurationError(f"expected envelope kind {kind!r}, got {data.get('kind')!r}")
     if "payload" not in data:
         raise ConfigurationError("wire envelope is missing its payload")
-    return data["payload"]
+    return WireEnvelope(
+        kind=kind,
+        payload=data["payload"],
+        wire_schema=schema,
+        tenant=data.get("tenant"),
+        priority=data.get("priority"),
+        schema_version=data.get("schema_version"),
+    )
+
+
+def open_envelope(data: Any, kind: str) -> Any:
+    """Validate a wire envelope and return its payload (either version)."""
+    return read_envelope(data, kind).payload
 
 
 def canonical_json(obj: Any) -> str:

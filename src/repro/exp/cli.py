@@ -580,7 +580,9 @@ def run_version_command(_args: argparse.Namespace) -> int:
 def run_serve_command(args: argparse.Namespace) -> int:
     """Implement ``repro serve``: run the simulation service until Ctrl-C."""
     from repro.service.server import ServiceConfig, serve
+    from repro.service.tenancy import TenancyConfig
 
+    tenancy = TenancyConfig.from_file(args.tenants) if args.tenants else None
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -588,8 +590,47 @@ def run_serve_command(args: argparse.Namespace) -> int:
         sim_jobs=args.sim_jobs,
         queue_limit=args.queue_limit,
         cache_dir=None if args.no_cache else args.cache_dir,
+        tenancy=tenancy,
     )
     serve(config)
+    return 0
+
+
+def run_stats_command(args: argparse.Namespace) -> int:
+    """Implement ``repro stats``: print a server's per-tenant accounting."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=min(args.timeout, 60.0))
+    stats = client.stats()
+    if args.json:
+        Path(args.json).write_text(json.dumps(stats, indent=2, sort_keys=True))
+    queue = stats["queue"]
+    print(
+        f"queue: {queue['depth']}/{queue['limit']} queued, "
+        f"{queue['running']} running on {queue['workers']} workers; "
+        f"uptime {stats['uptime_seconds']:.0f}s"
+    )
+    tenants = stats.get("tenants", {})
+    if not tenants:
+        print("no tenants have contacted this server yet")
+        return 0
+    print(
+        f"{'tenant':<16} {'weight':>6} {'share':>6} {'queued':>6} {'run':>4} "
+        f"{'admit':>6} {'reject':>6} {'done':>6} {'sims':>6} {'hits':>6} "
+        f"{'wait p95':>9} {'svc p95':>9}"
+    )
+    for name in sorted(tenants):
+        entry = tenants[name]
+        jobs = entry["jobs"]
+        rejected = jobs["rejected_quota"] + jobs["rejected_capacity"]
+        print(
+            f"{name:<16} {entry['weight']:>6g} {entry['work_share']:>6.2f} "
+            f"{entry['queued']:>6} {entry['inflight']:>4} {jobs['admitted']:>6} "
+            f"{rejected:>6} {jobs['completed']:>6} {entry['sims']['executed']:>6} "
+            f"{entry['sims']['cache_hits']:>6} "
+            f"{entry['queue_wait_seconds']['p95']:>8.2f}s "
+            f"{entry['service_seconds']['p95']:>8.2f}s"
+        )
     return 0
 
 
@@ -597,18 +638,25 @@ def run_submit_command(args: argparse.Namespace) -> int:
     """Implement ``repro submit``: send a figure to a server and await it."""
     from repro.service.client import ServiceClient
 
-    client = ServiceClient(args.server, timeout=min(args.timeout, 60.0))
+    client = ServiceClient(
+        args.server,
+        timeout=min(args.timeout, 60.0),
+        tenant=args.tenant,
+        token=args.auth_token,
+    )
     receipt = client.submit(
         figure=args.figure,
         instructions=args.instructions,
         seed=args.seed,
         full=args.full,
         engine=args.engine,
+        priority=args.priority,
     )
     admitted = "coalesced with in-flight job" if receipt.coalesced else "queued"
     if not args.quiet:
         print(
-            f"[repro] {args.figure}: {receipt.job_id} ({admitted}), "
+            f"[repro] {args.figure}: {receipt.job_id} ({admitted}, "
+            f"tenant {receipt.tenant}, {receipt.priority} lane), "
             f"request key {receipt.request_key[:16]}"
         )
     if args.no_wait:
@@ -831,6 +879,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument(
         "--no-cache", action="store_true", help="disable the shared result cache"
     )
+    sub.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE.json",
+        help="tenant roster (weights, quotas, auth tokens); without it the "
+        "server runs open: any tenant name, default limits",
+    )
     sub.set_defaults(handler=run_serve_command)
 
     sub = subparsers.add_parser(
@@ -861,6 +916,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"simulation engine for the campaign (default: {DEFAULT_ENGINE})",
     )
     sub.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant identity the submission charges (default: the server's "
+        "default tenant)",
+    )
+    sub.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for tenants the server requires auth for",
+    )
+    sub.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default=None,
+        help="scheduling lane (default: batch for --full campaigns, else "
+        "interactive)",
+    )
+    sub.add_argument(
         "--timeout", type=float, default=600.0, help="seconds to wait (default: 600)"
     )
     sub.add_argument(
@@ -869,6 +943,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--json", default=None, help="write the completed status document here")
     sub.add_argument("--quiet", action="store_true", help="suppress progress output")
     sub.set_defaults(handler=run_submit_command)
+
+    sub = subparsers.add_parser(
+        "stats", help="print a running server's per-tenant usage and latency stats"
+    )
+    sub.add_argument(
+        "--server",
+        default=DEFAULT_SERVICE_URL,
+        help=f"server base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=10.0, help="request timeout (default: 10)"
+    )
+    sub.add_argument("--json", default=None, help="also write the raw stats document here")
+    sub.set_defaults(handler=run_stats_command)
 
     sub = subparsers.add_parser(
         "bench",

@@ -22,6 +22,7 @@ the ``repro.exp`` package importable from :mod:`repro.sim.experiments`.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -29,13 +30,46 @@ from repro.common.errors import ConfigurationError
 from repro.common.serialize import from_jsonable, stable_hash, to_jsonable
 from repro.exp.runner import SimJob, job_key
 
-#: Bump when the meaning of a request changes; coalescing keys then diverge.
-REQUEST_SCHEMA_VERSION = 1
+#: Version of the request payload schema (the ``schema_version`` a v2 wire
+#: envelope names).  Version 2 added the admission metadata fields
+#: (``tenant``, ``priority``); version-1 payloads simply omit them.
+REQUEST_SCHEMA_VERSION = 2
+
+#: What the *work content* of a request hashes under.  Deliberately separate
+#: from :data:`REQUEST_SCHEMA_VERSION`: bump only when the meaning of a
+#: request changes (coalescing keys then diverge); adding admission metadata
+#: does not.
+_KEY_SCHEMA_VERSION = 1
+
+#: The two scheduling lanes a submission can ride in.  ``interactive`` is
+#: for short quick-suite jobs and is always drained before ``batch`` (full
+#: campaigns), so interactive work is never stuck behind a campaign.
+PRIORITY_LANES = ("interactive", "batch")
+
+#: Tenant names are path/log-safe identifiers.
+_TENANT_NAME_RE = r"[A-Za-z0-9][A-Za-z0-9_.-]{0,63}"
+
+
+def validate_tenant_name(name: str) -> str:
+    """Validate a tenant identifier; returns it unchanged."""
+    if not isinstance(name, str) or not re.fullmatch(_TENANT_NAME_RE, name):
+        raise ConfigurationError(
+            f"invalid tenant name {name!r} (want 1-64 chars of [A-Za-z0-9_.-], "
+            "starting alphanumeric)"
+        )
+    return name
 
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One submission: a named figure campaign or an explicit job batch."""
+    """One submission: a named figure campaign or an explicit job batch.
+
+    ``tenant`` and ``priority`` are **admission metadata**: they decide whose
+    quota the submission charges and which scheduling lane it rides, but they
+    are deliberately excluded from :meth:`key` -- the same simulation
+    submitted by two tenants must still coalesce into one execution and share
+    one result-cache entry.
+    """
 
     figure: Optional[str] = None
     cases: Tuple[SimJob, ...] = ()
@@ -45,8 +79,19 @@ class JobRequest:
     #: Simulation engine for figure campaigns (``None`` = the default
     #: engine).  Case batches carry the engine inside each job's machine.
     engine: Optional[str] = None
+    #: Submitting tenant (``None`` = the server's default tenant).
+    tenant: Optional[str] = None
+    #: Scheduling lane (one of :data:`PRIORITY_LANES`; ``None`` lets the
+    #: server derive it: ``batch`` for full campaigns, else ``interactive``).
+    priority: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.tenant is not None:
+            validate_tenant_name(self.tenant)
+        if self.priority is not None and self.priority not in PRIORITY_LANES:
+            raise ConfigurationError(
+                f"unknown priority {self.priority!r} (one of {', '.join(PRIORITY_LANES)})"
+            )
         if (self.figure is None) == (not self.cases):
             raise ConfigurationError(
                 "a job request names either a figure or a non-empty batch of cases"
@@ -100,11 +145,16 @@ class JobRequest:
         return replace(self, instructions=instructions, seed=seed, engine=engine)
 
     def key(self) -> str:
-        """The request's stable content address (the coalescing key)."""
+        """The request's stable content address (the coalescing key).
+
+        Hashes only the *work content*; ``tenant`` and ``priority`` are
+        excluded so identical work from different tenants coalesces and
+        cache-hits across tenants.
+        """
         normalized = self.normalized()
         return stable_hash(
             {
-                "schema": REQUEST_SCHEMA_VERSION,
+                "schema": _KEY_SCHEMA_VERSION,
                 "figure": normalized.figure,
                 "cases": sorted({job_key(case) for case in normalized.cases}),
                 "instructions": normalized.instructions,
@@ -123,6 +173,8 @@ class JobRequest:
             "seed": self.seed,
             "full": self.full,
             "engine": self.engine,
+            "tenant": self.tenant,
+            "priority": self.priority,
         }
 
     @classmethod
@@ -142,4 +194,6 @@ class JobRequest:
             seed=data.get("seed"),
             full=bool(data.get("full", False)),
             engine=data.get("engine"),
+            tenant=data.get("tenant"),
+            priority=data.get("priority"),
         )

@@ -10,25 +10,38 @@ owns the cache:
   ``POST /v1/jobs``, ``GET /v1/jobs/{id}``, ``GET /v1/results/{key}`` and
   ``GET /v1/healthz``.
 * :mod:`repro.service.jobs` -- :class:`~repro.service.jobs.JobManager`:
-  request coalescing (identical in-flight submissions share one execution),
-  a bounded admission queue (429 on overload) and a worker pool that reuses
+  request coalescing (identical in-flight submissions share one execution,
+  even across tenants), tenant-aware admission control (global queue bound
+  plus per-tenant quotas, structured 429s) and a worker pool that reuses
   :class:`~repro.exp.runner.ExperimentRunner` over one shared
   :class:`~repro.exp.cache.ResultCache`, so warm requests complete without
   simulating.
+* :mod:`repro.service.tenancy` -- the resource-management layer:
+  :class:`~repro.service.tenancy.TenancyConfig` (tenant roster, weights,
+  quotas, auth tokens), :class:`~repro.service.tenancy.TenantScheduler`
+  (stride-based weighted fair queueing with interactive/batch priority
+  lanes) and per-tenant usage/latency accounting behind ``GET /v1/stats``.
 * :mod:`repro.service.client` -- :class:`~repro.service.client.ServiceClient`,
   the blocking SDK the ``repro submit`` CLI verb wraps.
 * :mod:`repro.service.http` -- minimal HTTP/1.1 framing over asyncio streams.
 
 Start a server with ``python -m repro serve``; see ``docs/USAGE.md`` for the
-wire schema and a curl quickstart.
+wire schema, the tenancy model and a curl quickstart.
 """
 
 from repro.service.client import ServiceClient, SubmitReceipt
 from repro.service.jobs import JobManager, JobState, JobStatus
 from repro.service.server import DEFAULT_PORT, ReproService, ServiceConfig, serve
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenancyConfig,
+    TenantScheduler,
+    TenantSpec,
+)
 
 __all__ = [
     "DEFAULT_PORT",
+    "DEFAULT_TENANT",
     "JobManager",
     "JobState",
     "JobStatus",
@@ -36,5 +49,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "SubmitReceipt",
+    "TenancyConfig",
+    "TenantScheduler",
+    "TenantSpec",
     "serve",
 ]

@@ -1,18 +1,27 @@
 """The client SDK: a small blocking client over the service's wire schema.
 
-Pure standard library (``urllib``); mirrors the four ``/v1`` endpoints:
+Pure standard library (``urllib``); mirrors the five ``/v1`` endpoints.
+Connection configuration (base URL, timeout, tenant identity, auth token)
+lives on the client; per-call knobs are keyword-only on :meth:`submit`:
 
     from repro.service.client import ServiceClient
 
-    client = ServiceClient("http://127.0.0.1:8077")
-    receipt = client.submit(figure="fig7", instructions=8_000)
+    client = ServiceClient("http://127.0.0.1:8077", tenant="alpha", token="s3cret")
+    receipt = client.submit(figure="fig7", instructions=8_000, priority="interactive")
     status = client.wait(receipt.job_id)          # poll until completed
     print(status["progress"], status["result"])
+    client.stats()["tenants"]["alpha"]            # usage/latency accounting
 
-Errors surface as :class:`~repro.common.errors.ServiceError`
-(:class:`~repro.common.errors.ServiceOverloadedError` for 429 so callers can
-back off and retry).  ``python -m repro submit`` is a thin wrapper over this
-class.
+The old positional ``submit(figure, cases, instructions, seed, full,
+engine)`` signature still works through a deprecation shim (it warns; new
+code should pass keywords).
+
+Errors surface as :class:`~repro.common.errors.ServiceError`.  Admission
+rejections raise :class:`~repro.common.errors.ServiceOverloadedError`
+carrying the structured fields from the error body -- ``code``
+(``overloaded`` vs ``tenant_quota_exceeded``), ``tenant`` and
+``retry_after`` -- so callers back off without parsing message strings.
+``python -m repro submit`` is a thin wrapper over this class.
 """
 
 from __future__ import annotations
@@ -22,18 +31,22 @@ import json
 import time
 import urllib.error
 import urllib.request
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.common.errors import ServiceError, ServiceOverloadedError
+from repro.common.errors import ErrorCode, ServiceError, ServiceOverloadedError
 from repro.common.serialize import open_envelope, wire_envelope
-from repro.exp.request import JobRequest
+from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
 from repro.exp.runner import SimJob
 
 #: A direct (proxy-free) opener: the service is always an explicit HTTP peer,
 #: and honouring http_proxy/https_proxy env vars would route even loopback
 #: requests through a corporate proxy that cannot reach the caller's 127.0.0.1.
 _OPENER = urllib.request.build_opener(urllib.request.ProxyHandler({}))
+
+#: The old positional order of ``submit`` (the back-compat shim's contract).
+_SUBMIT_POSITIONAL = ("figure", "cases", "instructions", "seed", "full", "engine")
 
 
 @dataclass(frozen=True)
@@ -44,14 +57,33 @@ class SubmitReceipt:
     request_key: str
     status: str
     coalesced: bool
+    #: The tenant/lane the server resolved the submission to.
+    tenant: Optional[str] = None
+    priority: Optional[str] = None
+    #: Migration note when the server deprecates the submission's schema.
+    deprecation: Optional[str] = None
 
 
 class ServiceClient:
-    """Blocking HTTP client for one ``repro serve`` instance."""
+    """Blocking HTTP client for one ``repro serve`` instance.
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8077", timeout: float = 60.0) -> None:
+    ``tenant`` and ``token`` are connection-level identity: every submission
+    is labelled with the client's tenant (overridable per call) and carries
+    ``Authorization: Bearer <token>`` when a token is configured.
+    """
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8077",
+        timeout: float = 60.0,
+        *,
+        tenant: Optional[str] = None,
+        token: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.tenant = tenant
+        self.token = token
 
     # -- transport -----------------------------------------------------
 
@@ -65,6 +97,10 @@ class ServiceClient:
         """
         data = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -96,11 +132,33 @@ class ServiceClient:
             ) from None
 
     @staticmethod
-    def _error_message(data: Any) -> str:
+    def _error_body(data: Any) -> Dict[str, Any]:
+        """The structured error payload (``{}`` when malformed)."""
         try:
-            return open_envelope(data, "error")["message"]
+            payload = open_envelope(data, "error")
+            return payload if isinstance(payload, dict) else {"message": str(payload)}
         except Exception:  # noqa: BLE001 -- any malformed error body
-            return str(data)
+            return {"message": str(data)}
+
+    @classmethod
+    def _error_message(cls, data: Any) -> str:
+        body = cls._error_body(data)
+        return str(body.get("message", body))
+
+    @classmethod
+    def _raise_overloaded(cls, data: Any) -> None:
+        """Map a 429 body to :class:`ServiceOverloadedError` with its fields."""
+        body = cls._error_body(data)
+        try:
+            code = ErrorCode(body.get("code", ErrorCode.OVERLOADED.value))
+        except ValueError:
+            code = ErrorCode.OVERLOADED
+        raise ServiceOverloadedError(
+            str(body.get("message", "service overloaded")),
+            code=code,
+            tenant=body.get("tenant"),
+            retry_after=body.get("retry_after"),
+        )
 
     # -- endpoints -----------------------------------------------------
 
@@ -111,16 +169,60 @@ class ServiceClient:
             raise ServiceError(f"healthz failed ({status}): {self._error_message(data)}")
         return open_envelope(data, "health")
 
-    def submit(
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats``: per-tenant usage and latency accounting."""
+        status, data = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceError(f"stats failed ({status}): {self._error_message(data)}")
+        return open_envelope(data, "stats")
+
+    def submit(self, *args: Any, **kwargs: Any) -> Any:
+        """``POST /v1/jobs``: submit a figure campaign or an explicit batch.
+
+        All parameters are keyword-only: ``figure``, ``cases``,
+        ``instructions``, ``seed``, ``full``, ``engine``, plus the admission
+        knobs ``priority`` (``interactive``/``batch``) and ``tenant`` (which
+        overrides the client-level tenant for this call).  Returns a
+        :class:`SubmitReceipt`; with ``wait=True`` it polls until the job
+        finishes (``timeout`` seconds) and returns the completed status
+        document instead.  Positional arguments are accepted for backward
+        compatibility with the pre-v2 signature and emit a
+        :class:`DeprecationWarning`.
+        """
+        if args:
+            warnings.warn(
+                "positional arguments to ServiceClient.submit() are deprecated; "
+                "pass figure=, cases=, instructions=, seed=, full=, engine= as "
+                "keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_SUBMIT_POSITIONAL):
+                raise TypeError(
+                    f"submit() takes at most {len(_SUBMIT_POSITIONAL)} positional "
+                    f"arguments ({len(args)} given)"
+                )
+            for name, value in zip(_SUBMIT_POSITIONAL, args):
+                if name in kwargs:
+                    raise TypeError(f"submit() got multiple values for {name!r}")
+                kwargs[name] = value
+        return self._submit(**kwargs)
+
+    def _submit(
         self,
+        *,
         figure: Optional[str] = None,
         cases: Optional[Iterable[SimJob]] = None,
         instructions: Optional[int] = None,
         seed: Optional[int] = None,
         full: bool = False,
         engine: Optional[str] = None,
-    ) -> SubmitReceipt:
-        """``POST /v1/jobs``: submit a figure campaign or an explicit batch."""
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
+        wait: bool = False,
+        timeout: float = 600.0,
+    ) -> Any:
+        tenant = tenant if tenant is not None else self.tenant
         request = JobRequest(
             figure=figure,
             cases=tuple(cases or ()),
@@ -128,21 +230,37 @@ class ServiceClient:
             seed=seed,
             full=full,
             engine=engine,
+            tenant=tenant,
+            priority=priority,
         )
         status, data = self._request(
-            "POST", "/v1/jobs", wire_envelope("job_request", request.to_dict())
+            "POST",
+            "/v1/jobs",
+            wire_envelope(
+                "job_request",
+                request.to_dict(),
+                tenant=tenant,
+                priority=priority,
+                schema_version=REQUEST_SCHEMA_VERSION,
+            ),
         )
         if status == 429:
-            raise ServiceOverloadedError(self._error_message(data))
+            self._raise_overloaded(data)
         if status not in (200, 202):
             raise ServiceError(f"submission rejected ({status}): {self._error_message(data)}")
         payload = open_envelope(data, "job_accepted")
-        return SubmitReceipt(
+        receipt = SubmitReceipt(
             job_id=payload["job_id"],
             request_key=payload["request_key"],
             status=payload["status"],
             coalesced=bool(payload["coalesced"]),
+            tenant=payload.get("tenant"),
+            priority=payload.get("priority"),
+            deprecation=payload.get("deprecation"),
         )
+        if wait:
+            return self.wait(receipt.job_id, timeout=timeout)
+        return receipt
 
     def status(self, job_id: str, include_result: bool = True) -> Dict[str, Any]:
         """``GET /v1/jobs/{id}``: the job's status document."""
@@ -194,14 +312,19 @@ class ServiceClient:
         full: bool = False,
         engine: Optional[str] = None,
         timeout: float = 600.0,
+        *,
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit and wait: returns the completed status document."""
-        receipt = self.submit(
+        receipt = self._submit(
             figure=figure,
             cases=cases,
             instructions=instructions,
             seed=seed,
             full=full,
             engine=engine,
+            priority=priority,
+            tenant=tenant,
         )
         return self.wait(receipt.job_id, timeout=timeout)

@@ -33,6 +33,8 @@ REASONS: Dict[int, str] = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",

@@ -1,4 +1,4 @@
-"""The job queue: coalescing, admission control and the worker pool.
+"""The job queue: coalescing, tenant admission and the fair-scheduled pool.
 
 :class:`JobManager` owns the server's execution state:
 
@@ -7,15 +7,25 @@
 * the **coalescing index** -- while a request is queued or running, its
   content address (:meth:`repro.exp.request.JobRequest.key`) maps to the
   live job, so an identical concurrent submission returns the same job
-  instead of executing twice,
-* a bounded **admission queue** -- when it is full, :meth:`submit` raises
-  :class:`~repro.common.errors.ServiceOverloadedError` (HTTP 429), and
-* a **worker pool**: ``workers`` asyncio tasks, each draining the queue and
-  running the blocking simulation on a daemon thread so the event loop stays
-  responsive.  Daemon (rather than executor) threads matter for shutdown: a
-  ``concurrent.futures`` pool's non-daemon threads are joined at interpreter
-  exit, so Ctrl-C on ``repro serve`` would hang until a running ``--full``
-  campaign finished; daemon threads let the process exit promptly.
+  instead of executing twice.  The key deliberately excludes the tenant, so
+  identical work submitted by *different tenants* coalesces too,
+* **admission control** -- a server-wide bound on queued jobs plus
+  per-tenant quotas (max queued, max in-flight); a violated bound raises
+  :class:`~repro.common.errors.ServiceOverloadedError` (HTTP 429 with a
+  ``Retry-After`` hint), carrying :data:`~repro.common.errors.ErrorCode`
+  ``overloaded`` for the global bound or ``tenant_quota_exceeded`` for a
+  tenant quota -- one greedy tenant's rejections never affect the others,
+* a **weighted fair scheduler** (:mod:`repro.service.tenancy`): per-tenant
+  queues with two priority lanes (``interactive`` before ``batch``), drained
+  by stride scheduling so saturated tenants receive work shares proportional
+  to their configured weights, and
+* a **worker pool**: ``workers`` asyncio tasks, each asking the scheduler
+  for the next job and running the blocking simulation on a daemon thread so
+  the event loop stays responsive.  Daemon (rather than executor) threads
+  matter for shutdown: a ``concurrent.futures`` pool's non-daemon threads
+  are joined at interpreter exit, so Ctrl-C on ``repro serve`` would hang
+  until a running ``--full`` campaign finished; daemon threads let the
+  process exit promptly.
 
 Every execution builds a fresh :class:`~repro.exp.runner.ExperimentRunner`
 over the *shared* :class:`~repro.exp.cache.ResultCache`, which is what makes
@@ -30,17 +40,24 @@ from __future__ import annotations
 import asyncio
 import enum
 import itertools
+import math
 import re
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import ServiceOverloadedError
+from repro.common.errors import ErrorCode, ServiceOverloadedError
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
 from repro.exp.request import JobRequest
 from repro.exp.runner import ExperimentRunner
+from repro.service.tenancy import (
+    LANE_BATCH,
+    LANE_INTERACTIVE,
+    TenancyConfig,
+    TenantScheduler,
+)
 from repro.sim.experiments import campaign_context, experiment_by_name
 
 
@@ -61,6 +78,10 @@ class JobState:
     request: JobRequest
     key: str
     submitted_at: float
+    #: Resolved tenant and scheduling lane (admission metadata; the first
+    #: submitter's tenant owns a coalesced job).
+    tenant: str = "default"
+    lane: str = LANE_BATCH
     status: JobStatus = JobStatus.QUEUED
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -81,6 +102,8 @@ class JobState:
             "job_id": self.job_id,
             "status": self.status.value,
             "request_key": self.key,
+            "tenant": self.tenant,
+            "priority": self.lane,
             "figure": self.request.figure,
             "case_count": len(self.request.cases),
             "instructions": self.request.instructions,
@@ -103,7 +126,7 @@ class JobState:
 
 
 class JobManager:
-    """Job store + coalescing index + admission queue + worker pool."""
+    """Job store + coalescing index + tenant admission + fair worker pool."""
 
     def __init__(
         self,
@@ -113,15 +136,19 @@ class JobManager:
         sim_jobs: int = 1,
         queue_limit: int = 8,
         history_limit: int = 256,
+        tenancy: Optional[TenancyConfig] = None,
     ) -> None:
         self.cache = cache
         self.workers = max(1, workers)
         self.sim_jobs = max(1, sim_jobs)
         self.queue_limit = max(1, queue_limit)
         self.history_limit = max(1, history_limit)
+        self.tenancy = tenancy if tenancy is not None else TenancyConfig.open()
+        self.scheduler = TenantScheduler(self.tenancy)
         self.jobs: Dict[str, JobState] = {}
         self._inflight: Dict[str, str] = {}
-        self._queue: "asyncio.Queue[JobState]" = asyncio.Queue(maxsize=self.queue_limit)
+        #: Set whenever scheduler state changes; idle workers wait on it.
+        self._work_available = asyncio.Event()
         self._worker_tasks: List[asyncio.Task] = []
         self._counter = itertools.count(1)
         self.started_at = time.time()
@@ -131,6 +158,12 @@ class JobManager:
             "completed": 0,
             "failed": 0,
         }
+        #: Rejections by admission control (not part of ``stats`` so the
+        #: aggregate job counters keep their historical meaning).
+        self.rejections: Dict[str, int] = {"overloaded": 0, "tenant_quota_exceeded": 0}
+        #: Running mean of observed service times, for Retry-After hints.
+        self._service_time_sum = 0.0
+        self._service_time_count = 0
         #: Test hook: called (in the worker thread) just before execution.
         self.pre_execute: Optional[Callable[[JobState], None]] = None
 
@@ -153,38 +186,83 @@ class JobManager:
 
     # -- submission (event-loop thread) --------------------------------
 
+    def resolve_lane(self, request: JobRequest) -> str:
+        """The scheduling lane a request rides: explicit priority wins, then
+        full campaigns default to ``batch`` and everything else to
+        ``interactive`` (short jobs must never wait behind campaigns)."""
+        if request.priority is not None:
+            return request.priority
+        return LANE_BATCH if request.full else LANE_INTERACTIVE
+
     def submit(self, request: JobRequest) -> Tuple[JobState, bool]:
         """Admit a request; returns ``(job, coalesced)``.
 
         An identical in-flight request (same content address, still queued or
-        running) is coalesced: the existing job is returned and nothing is
-        enqueued.  A full queue raises :class:`ServiceOverloadedError`.
+        running -- regardless of tenant) is coalesced: the existing job is
+        returned and nothing is enqueued.  Coalesced submissions bypass the
+        quotas (they add no work).  Otherwise admission charges the resolved
+        tenant: a full tenant quota or a full server-wide queue raises
+        :class:`ServiceOverloadedError` with the matching error code.
         """
         request = request.normalized()
+        tenant = request.tenant if request.tenant is not None else self.tenancy.default_tenant
+        # Resolve the spec first: an unknown tenant under a closed roster is
+        # a 400 (ConfigurationError), never a quota rejection.
+        runtime = self.scheduler.runtime(tenant)
+        accounting = runtime.accounting
+        lane = self.resolve_lane(request)
         key = request.key()
         existing_id = self._inflight.get(key)
         if existing_id is not None:
             state = self.jobs[existing_id]
             state.coalesced_submissions += 1
             self.stats["coalesced"] += 1
+            accounting.coalesced += 1
             return state, True
+        if runtime.spec.max_queued is not None and runtime.queued() >= runtime.spec.max_queued:
+            accounting.rejected_quota += 1
+            self.rejections["tenant_quota_exceeded"] += 1
+            raise ServiceOverloadedError(
+                f"tenant {tenant!r} already has {runtime.queued()} jobs queued "
+                f"(quota {runtime.spec.max_queued}); retry later",
+                code=ErrorCode.TENANT_QUOTA_EXCEEDED,
+                tenant=tenant,
+                retry_after=self.retry_after_hint(runtime.queued()),
+            )
+        if self.scheduler.queued_total() >= self.queue_limit:
+            accounting.rejected_capacity += 1
+            self.rejections["overloaded"] += 1
+            raise ServiceOverloadedError(
+                f"job queue is full ({self.queue_limit} pending); retry later",
+                code=ErrorCode.OVERLOADED,
+                tenant=tenant,
+                retry_after=self.retry_after_hint(self.scheduler.queued_total()),
+            )
         state = JobState(
             job_id=f"job-{next(self._counter):06d}",
             request=request,
             key=key,
             submitted_at=time.time(),
+            tenant=tenant,
+            lane=lane,
         )
-        try:
-            self._queue.put_nowait(state)
-        except asyncio.QueueFull:
-            raise ServiceOverloadedError(
-                f"job queue is full ({self.queue_limit} pending); retry later"
-            ) from None
+        self.scheduler.enqueue(tenant, lane, state)
+        self._work_available.set()
         self.jobs[state.job_id] = state
         self._inflight[key] = state.job_id
         self.stats["submitted"] += 1
+        accounting.admitted += 1
         self._trim_history()
         return state, False
+
+    def retry_after_hint(self, queued_ahead: int) -> int:
+        """Seconds a rejected caller should back off: the observed mean
+        service time scaled by the backlog per worker, clamped to [1, 60]."""
+        if self._service_time_count == 0:
+            return 1
+        mean = self._service_time_sum / self._service_time_count
+        estimate = math.ceil(mean * max(1, queued_ahead) / self.workers)
+        return int(min(60, max(1, estimate)))
 
     def _trim_history(self) -> None:
         """Drop the oldest finished jobs beyond the history limit."""
@@ -233,15 +311,32 @@ class JobManager:
         threading.Thread(target=run, name="repro-worker", daemon=True).start()
         return await future
 
+    async def _next_job(self) -> JobState:
+        """Await the scheduler's next pick.
+
+        The pick/clear/wait sequence has no await between ``pick`` and
+        ``wait``, and all state changes happen on this same loop, so a
+        wakeup can never be lost.
+        """
+        while True:
+            picked = self.scheduler.pick()
+            if picked is not None:
+                return picked[1]
+            self._work_available.clear()
+            await self._work_available.wait()
+
     async def _worker_loop(self) -> None:
         while True:
-            state = await self._queue.get()
+            state = await self._next_job()
+            accounting = self.scheduler.accounting(state.tenant)
             state.status = JobStatus.RUNNING
             state.started_at = time.time()
+            accounting.queue_wait.record(state.started_at - state.submitted_at)
             try:
                 state.result = await self._run_on_daemon_thread(state)
                 state.status = JobStatus.COMPLETED
                 self.stats["completed"] += 1
+                accounting.completed += 1
             except asyncio.CancelledError:
                 state.status = JobStatus.FAILED
                 state.error = "server shut down before the job finished"
@@ -250,11 +345,23 @@ class JobManager:
                 state.status = JobStatus.FAILED
                 state.error = f"{type(error).__name__}: {error}"
                 self.stats["failed"] += 1
+                accounting.failed += 1
             finally:
                 state.finished_at = time.time()
+                service_seconds = state.finished_at - state.started_at
+                accounting.service_time.record(service_seconds)
+                accounting.service_seconds += service_seconds
+                self._service_time_sum += service_seconds
+                self._service_time_count += 1
+                if state.runner is not None:
+                    accounting.sims_executed += state.runner.executed_jobs
+                    accounting.cache_hits += state.runner.cache_hits
                 if self._inflight.get(state.key) == state.job_id:
                     del self._inflight[state.key]
-                self._queue.task_done()
+                self.scheduler.release(state.tenant)
+                # A released in-flight slot may make a quota-capped tenant
+                # runnable again; wake any idle worker.
+                self._work_available.set()
 
     def _execute(self, state: JobState) -> Any:
         """Run one job to completion in a worker thread; returns the payload.
@@ -309,15 +416,44 @@ class JobManager:
         """The ``GET /v1/healthz`` document."""
         from repro._version import __version__
 
+        tenants_summary = {
+            runtime.spec.name: {
+                "queued": runtime.queued(),
+                "inflight": runtime.inflight,
+                "admitted": runtime.accounting.admitted,
+                "rejected": (
+                    runtime.accounting.rejected_quota
+                    + runtime.accounting.rejected_capacity
+                ),
+            }
+            for runtime in self.scheduler.tenants()
+        }
         return {
             "status": "ok",
             "version": __version__,
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.workers,
             "sim_jobs": self.sim_jobs,
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self.scheduler.queued_total(),
             "queue_limit": self.queue_limit,
             "inflight": len(self._inflight),
             "cache_dir": None if self.cache is None else str(self.cache.root),
             "jobs": dict(self.stats),
+            "rejections": dict(self.rejections),
+            "tenants": tenants_summary,
+        }
+
+    def stats_document(self) -> Dict[str, Any]:
+        """The ``GET /v1/stats`` document: per-tenant usage and latency."""
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": {
+                "depth": self.scheduler.queued_total(),
+                "limit": self.queue_limit,
+                "running": self.scheduler.inflight_total(),
+                "workers": self.workers,
+            },
+            "totals": {**self.stats, "rejections": dict(self.rejections)},
+            "default_tenant": self.tenancy.default_tenant,
+            "tenants": self.scheduler.stats_document(),
         }

@@ -6,31 +6,50 @@ Endpoints (all JSON, wrapped in versioned wire envelopes, see
 * ``POST /v1/jobs`` -- submit a :class:`~repro.exp.request.JobRequest`
   (named figure campaign or explicit job batch).  Answers ``202`` with a
   ``job_accepted`` envelope, or ``200`` when the submission was coalesced
-  with an identical in-flight job, or ``429`` (+ ``Retry-After``) when the
-  admission queue is full.
-* ``GET /v1/jobs/{id}`` -- job status: lifecycle state, progress counters
-  (simulations executed vs cache hits so far) and, once completed, the full
-  result payload.
+  with an identical in-flight job, or ``429`` (+ ``Retry-After``) when
+  admission control rejects it -- with error code ``overloaded`` (global
+  queue full) or ``tenant_quota_exceeded`` (this tenant's quota).
+* ``GET /v1/jobs/{id}`` -- job status: lifecycle state, tenant/priority,
+  progress counters (simulations executed vs cache hits so far) and, once
+  completed, the full result payload.
 * ``GET /v1/results/{key}`` -- direct lookup of one cached simulation by its
   content address (the :func:`repro.exp.runner.job_key` of a ``SimJob``).
-* ``GET /v1/healthz`` -- liveness, version, queue depth and job statistics.
+* ``GET /v1/stats`` -- per-tenant usage and latency accounting (weights,
+  quotas, work shares, queue-wait and service-time percentiles).
+* ``GET /v1/healthz`` -- liveness, version, queue depth, job statistics and
+  a per-tenant queue summary.
 
-Run it with ``python -m repro serve`` or embed :class:`ReproService` (used
-by the test suite, which starts it on an ephemeral port).
+**Tenancy.** A submission's tenant comes from (in precedence order) the v2
+envelope's ``tenant`` field, the request payload's ``tenant`` field, or the
+``X-Repro-Tenant`` header; unlabelled submissions (and all wire-schema-1
+envelopes) land on the default tenant.  A tenant configured with an auth
+token only accepts submissions carrying ``Authorization: Bearer <token>``.
+Every error body carries a structured ``code`` from
+:class:`repro.common.errors.ErrorCode`.
+
+Run it with ``python -m repro serve`` (``--tenants tenants.json`` for the
+roster) or embed :class:`ReproService` (used by the test suite, which starts
+it on an ephemeral port).
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import hmac
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, ServiceOverloadedError
-from repro.common.serialize import wire_envelope, open_envelope
+from repro.common.errors import (
+    ConfigurationError,
+    ErrorCode,
+    ServiceOverloadedError,
+)
+from repro.common.serialize import WIRE_SCHEMA_VERSION, read_envelope, wire_envelope
 from repro.exp.cache import ResultCache
-from repro.exp.request import JobRequest
+from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
 from repro.service.http import HTTPRequest, ProtocolError, json_response, read_request
 from repro.service.jobs import JobManager
+from repro.service.tenancy import TenancyConfig
 
 #: Default TCP port (``repro`` on a phone keypad would not fit; 8077 does).
 #: Mirrored by the CLI's ``DEFAULT_SERVICE_PORT`` (kept lazy-import-free
@@ -40,6 +59,22 @@ DEFAULT_PORT = 8077
 #: A client gets this long to deliver a complete request; slow or silent
 #: connections are dropped so they cannot pin handler coroutines forever.
 READ_TIMEOUT_SECONDS = 30.0
+
+#: The migration note attached to responses for deprecated v1 envelopes.
+V1_DEPRECATION_NOTE = (
+    "wire schema 1 is deprecated: submissions were mapped to the default "
+    "tenant's batch lane; send wire_schema 2 envelopes with explicit "
+    "tenant/priority (see docs/USAGE.md, 'Tenancy & fairness')"
+)
+
+#: HTTP status -> error code for protocol-level failures.
+_CODE_FOR_STATUS = {
+    400: ErrorCode.BAD_REQUEST,
+    401: ErrorCode.UNAUTHORIZED,
+    404: ErrorCode.NOT_FOUND,
+    405: ErrorCode.METHOD_NOT_ALLOWED,
+    413: ErrorCode.BAD_REQUEST,
+}
 
 
 @dataclass(frozen=True)
@@ -58,6 +93,9 @@ class ServiceConfig:
     cache_dir: Optional[str] = ".repro-cache"
     #: Finished jobs retained for status queries.
     history_limit: int = 256
+    #: Tenant roster, quotas and weights; ``None`` runs the open
+    #: single-tenant-compatible policy.
+    tenancy: Optional[TenancyConfig] = None
 
 
 class ReproService:
@@ -72,6 +110,7 @@ class ReproService:
             sim_jobs=config.sim_jobs,
             queue_limit=config.queue_limit,
             history_limit=config.history_limit,
+            tenancy=config.tenancy,
         )
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -118,11 +157,21 @@ class ReproService:
             except ProtocolError as error:
                 response = _error_response(error.status, error.message)
             except ServiceOverloadedError as error:
-                response = _error_response(429, str(error), extra=(("Retry-After", "1"),))
+                retry_after = error.retry_after if error.retry_after is not None else 1
+                response = _error_response(
+                    429,
+                    str(error),
+                    code=error.code,
+                    tenant=error.tenant,
+                    retry_after=retry_after,
+                    extra=(("Retry-After", str(int(retry_after))),),
+                )
             except ConfigurationError as error:
                 response = _error_response(400, str(error))
             except Exception as error:  # noqa: BLE001 -- never drop the connection
-                response = _error_response(500, f"{type(error).__name__}: {error}")
+                response = _error_response(
+                    500, f"{type(error).__name__}: {error}", code=ErrorCode.INTERNAL
+                )
             writer.write(response)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
@@ -134,23 +183,76 @@ class ReproService:
             except (ConnectionError, BrokenPipeError):
                 pass
 
+    # -- submission helpers --------------------------------------------
+
+    def _submission_request(self, request: HTTPRequest) -> Tuple[JobRequest, bool]:
+        """Parse a ``POST /v1/jobs`` body into a fully resolved request.
+
+        Returns ``(job_request, deprecated)`` where ``deprecated`` marks a
+        wire-schema-1 envelope (its response carries a migration note).
+        Resolution order for the tenant: envelope field, payload field,
+        ``X-Repro-Tenant`` header, then the server's default; conflicting
+        explicit values are a 400 rather than a silent pick.
+        """
+        envelope = read_envelope(request.json(), "job_request")
+        job_request = JobRequest.from_dict(envelope.payload)
+        tenant = _merge_field("tenant", envelope.tenant, job_request.tenant)
+        if tenant is None:
+            tenant = request.headers.get("x-repro-tenant") or None
+        priority = _merge_field("priority", envelope.priority, job_request.priority)
+        if envelope.deprecated:
+            # v1 speakers predate tenancy: default tenant, batch lane.
+            tenant, priority = None, "batch"
+        job_request = replace(job_request, tenant=tenant, priority=priority)
+        resolved = tenant if tenant is not None else self.manager.tenancy.default_tenant
+        self._authorize(resolved, request)
+        return job_request, envelope.deprecated
+
+    def _authorize(self, tenant: str, request: HTTPRequest) -> None:
+        """Enforce the tenant's auth token, when one is configured."""
+        spec = self.manager.tenancy.spec_for(tenant)
+        if spec.token is None:
+            return
+        presented = request.headers.get("authorization", "")
+        scheme, _, credential = presented.partition(" ")
+        if scheme.lower() != "bearer" or not hmac.compare_digest(
+            credential.strip(), spec.token
+        ):
+            raise ProtocolError(
+                401, f"tenant {tenant!r} requires a valid Authorization: Bearer token"
+            )
+
     def _dispatch(self, request: HTTPRequest) -> bytes:
         path, method = request.path, request.method
         if path == "/v1/healthz":
             _require(method, "GET")
             return json_response(200, wire_envelope("health", self.manager.health()))
+        if path == "/v1/stats":
+            _require(method, "GET")
+            return json_response(200, wire_envelope("stats", self.manager.stats_document()))
         if path == "/v1/jobs":
             _require(method, "POST")
-            payload = open_envelope(request.json(), "job_request")
-            state, coalesced = self.manager.submit(JobRequest.from_dict(payload))
+            job_request, deprecated = self._submission_request(request)
+            state, coalesced = self.manager.submit(job_request)
             receipt = {
                 "job_id": state.job_id,
                 "request_key": state.key,
                 "status": state.status.value,
                 "coalesced": coalesced,
+                "tenant": state.tenant,
+                "priority": state.lane,
             }
+            if deprecated:
+                receipt["deprecation"] = V1_DEPRECATION_NOTE
             return json_response(
-                200 if coalesced else 202, wire_envelope("job_accepted", receipt)
+                200 if coalesced else 202,
+                wire_envelope(
+                    "job_accepted",
+                    receipt,
+                    tenant=state.tenant,
+                    priority=state.lane,
+                    schema_version=REQUEST_SCHEMA_VERSION,
+                ),
             )
         if path.startswith("/v1/jobs/"):
             _require(method, "GET")
@@ -174,15 +276,41 @@ class ReproService:
         return _error_response(404, f"unknown endpoint {method} {path}")
 
 
+def _merge_field(name: str, envelope_value: Any, payload_value: Any) -> Any:
+    """Combine the envelope-level and payload-level copy of a field."""
+    if envelope_value is None:
+        return payload_value
+    if payload_value is not None and payload_value != envelope_value:
+        raise ProtocolError(
+            400,
+            f"envelope {name}={envelope_value!r} conflicts with "
+            f"payload {name}={payload_value!r}",
+        )
+    return envelope_value
+
+
 def _require(method: str, expected: str) -> None:
     if method != expected:
         raise ProtocolError(405, f"method {method} not allowed (use {expected})")
 
 
-def _error_response(status: int, message: str, extra=()) -> bytes:
-    return json_response(
-        status, wire_envelope("error", {"status": status, "message": message}), extra
-    )
+def _error_response(
+    status: int,
+    message: str,
+    code: Optional[ErrorCode] = None,
+    tenant: Optional[str] = None,
+    retry_after: Optional[float] = None,
+    extra=(),
+) -> bytes:
+    """An ``error`` envelope with the structured taxonomy fields."""
+    if code is None:
+        code = _CODE_FOR_STATUS.get(status, ErrorCode.INTERNAL)
+    payload: Dict[str, Any] = {"status": status, "code": code.value, "message": message}
+    if tenant is not None:
+        payload["tenant"] = tenant
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return json_response(status, wire_envelope("error", payload), extra)
 
 
 async def run_service(config: ServiceConfig) -> None:
@@ -191,10 +319,15 @@ async def run_service(config: ServiceConfig) -> None:
     await service.start()
     host, port = service.address
     cache = config.cache_dir or "disabled"
+    tenancy = service.manager.tenancy
+    tenants = (
+        ",".join(spec.name for spec in tenancy.tenants) if tenancy.tenants else "open"
+    )
     print(
         f"[repro] serving on http://{host}:{port} "
         f"(workers={config.workers}, sim-jobs={config.sim_jobs}, "
-        f"queue-limit={config.queue_limit}, cache={cache})",
+        f"queue-limit={config.queue_limit}, cache={cache}, tenants={tenants}, "
+        f"wire-schema={WIRE_SCHEMA_VERSION})",
         flush=True,
     )
     try:

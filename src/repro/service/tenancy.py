@@ -1,0 +1,414 @@
+"""Multi-tenant admission, weighted fair scheduling and usage accounting.
+
+This module is the service's resource-management layer.  It owns three
+concerns, kept free of any HTTP or job-execution detail so they can be unit
+tested in isolation:
+
+* **Tenant configuration** -- :class:`TenantSpec` (weight, quotas, optional
+  auth token) and :class:`TenancyConfig` (the named tenants, the default
+  tenant, whether unknown names are admitted).  A config loads from a small
+  JSON file (``repro serve --tenants tenants.json``); with no file the
+  service runs *open*: every tenant name is accepted with default limits,
+  and unlabelled submissions land on the ``default`` tenant -- exactly the
+  pre-tenancy behaviour.
+
+* **Weighted fair scheduling** -- :class:`TenantScheduler`, a stride
+  scheduler over per-tenant queues.  Each tenant carries a *pass* value
+  advanced by ``stride = STRIDE_SCALE / weight`` per dispatched job, and the
+  runnable tenant with the smallest pass goes next -- so under saturation
+  tenants receive work in proportion to their configured weights.  Two
+  **priority lanes** sit above the weighting: every tenant has an
+  ``interactive`` and a ``batch`` queue, and the scheduler drains all
+  interactive work (weighted-fair among tenants) before any batch work, so
+  short quick-suite jobs are never stuck behind a flooding campaign.  A
+  tenant waking from idle has its pass forwarded to the current virtual
+  time, so sleeping never banks credit that would later starve the others.
+
+* **Usage and latency accounting** -- :class:`TenantAccounting`: per-tenant
+  admission/rejection/completion counters, simulations executed vs cache
+  hits, and bounded reservoirs of queue-wait and service-time samples with
+  p50/p95/p99 summaries.  ``GET /v1/stats`` is a straight serialisation of
+  these records.
+
+All scheduler state is touched only from the server's event-loop thread
+(submission and worker dispatch both happen there), so there is no locking.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, Mapping, Optional, Tuple, TypeVar
+
+from repro.common.errors import ConfigurationError
+from repro.exp.request import PRIORITY_LANES, validate_tenant_name
+
+_T = TypeVar("_T")
+
+#: The tenant unlabelled (and all wire-schema-1) submissions map to.
+DEFAULT_TENANT = "default"
+
+#: The two scheduling lanes, highest priority first (re-exported from the
+#: request layer, which owns the wire vocabulary).
+LANE_INTERACTIVE, LANE_BATCH = PRIORITY_LANES
+
+#: Pass-value increment for a weight-1.0 tenant per dispatched job.  The
+#: scale is arbitrary (only pass *ratios* matter); a round number keeps the
+#: values readable in debugger sessions and stats dumps.
+STRIDE_SCALE = 1_000_000.0
+
+#: Bounded reservoir size for latency samples (newest kept).
+LATENCY_WINDOW = 1024
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's configured identity: weight, quotas, optional token.
+
+    ``None`` quotas mean "bounded only by the server-wide limits" -- the
+    right default for a single-tenant deployment, where per-tenant admission
+    must degenerate to the old global behaviour.
+    """
+
+    name: str
+    #: Relative share of the worker pool under saturation.
+    weight: float = 1.0
+    #: Max jobs this tenant may have queued (excluding running); ``None`` =
+    #: only the server-wide queue limit applies.
+    max_queued: Optional[int] = None
+    #: Max jobs this tenant may have running at once; ``None`` = only the
+    #: worker count applies.
+    max_inflight: Optional[int] = None
+    #: Shared-secret auth token; when set, submissions for this tenant must
+    #: carry ``Authorization: Bearer <token>``.
+    token: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_tenant_name(self.name)
+        if not (self.weight > 0.0):
+            raise ConfigurationError(
+                f"tenant {self.name!r}: weight must be positive, got {self.weight}"
+            )
+        for attr in ("max_queued", "max_inflight"):
+            value = getattr(self, attr)
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"tenant {self.name!r}: {attr} must be >= 1, got {value}"
+                )
+        if self.token is not None and (not isinstance(self.token, str) or not self.token):
+            raise ConfigurationError(f"tenant {self.name!r}: token must be a non-empty string")
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Any]) -> "TenantSpec":
+        unknown = set(data) - {"weight", "max_queued", "max_inflight", "token"}
+        if unknown:
+            raise ConfigurationError(
+                f"tenant {name!r}: unknown settings {sorted(unknown)}"
+            )
+        return cls(
+            name=name,
+            weight=float(data.get("weight", 1.0)),
+            max_queued=data.get("max_queued"),
+            max_inflight=data.get("max_inflight"),
+            token=data.get("token"),
+        )
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """The server's tenant roster and admission policy."""
+
+    tenants: Tuple[TenantSpec, ...] = ()
+    default_tenant: str = DEFAULT_TENANT
+    #: When ``True`` (the open, zero-config default) an unconfigured tenant
+    #: name is admitted with default limits; when ``False`` it is a 400.
+    allow_unknown: bool = True
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.tenants]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate tenant names in config: {names}")
+        validate_tenant_name(self.default_tenant)
+        if not self.allow_unknown and self.default_tenant not in names:
+            raise ConfigurationError(
+                f"default tenant {self.default_tenant!r} must be configured when "
+                "unknown tenants are rejected"
+            )
+
+    @classmethod
+    def open(cls) -> "TenancyConfig":
+        """The zero-config policy: any tenant, default limits, no auth."""
+        return cls()
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TenancyConfig":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"expected a tenancy config mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"tenants", "default_tenant", "allow_unknown"}
+        if unknown:
+            raise ConfigurationError(f"unknown tenancy settings {sorted(unknown)}")
+        tenants_data = data.get("tenants", {})
+        if not isinstance(tenants_data, Mapping):
+            raise ConfigurationError("tenancy 'tenants' must be a mapping of name -> settings")
+        tenants = tuple(
+            TenantSpec.from_dict(name, spec if isinstance(spec, Mapping) else {})
+            for name, spec in tenants_data.items()
+        )
+        return cls(
+            tenants=tenants,
+            default_tenant=data.get("default_tenant", DEFAULT_TENANT),
+            allow_unknown=bool(data.get("allow_unknown", True)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenancyConfig":
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as error:
+            raise ConfigurationError(f"cannot read tenants file {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"tenants file {path} is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def spec_for(self, name: str) -> TenantSpec:
+        """Resolve a tenant name to its spec (default limits when open)."""
+        validate_tenant_name(name)
+        for spec in self.tenants:
+            if spec.name == name:
+                return spec
+        if not self.allow_unknown:
+            raise ConfigurationError(
+                f"unknown tenant {name!r} (this server admits only configured tenants)"
+            )
+        return TenantSpec(name=name)
+
+
+class LatencyWindow:
+    """A bounded reservoir of latency samples with percentile summaries."""
+
+    __slots__ = ("_samples", "count", "total")
+
+    def __init__(self, limit: int = LATENCY_WINDOW) -> None:
+        self._samples: Deque[float] = deque(maxlen=limit)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile over the retained window (0.0 if empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, -(-int(quantile * 100) * len(ordered) // 100))  # ceil
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> Dict[str, float]:
+        """The wire form: lifetime count/mean plus windowed percentiles."""
+        return {
+            "count": self.count,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": max(self._samples) if self._samples else 0.0,
+        }
+
+
+@dataclass
+class TenantAccounting:
+    """Per-tenant usage counters and latency reservoirs."""
+
+    admitted: int = 0
+    coalesced: int = 0
+    rejected_quota: int = 0
+    rejected_capacity: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    sims_executed: int = 0
+    cache_hits: int = 0
+    service_seconds: float = 0.0
+    queue_wait: LatencyWindow = field(default_factory=LatencyWindow)
+    service_time: LatencyWindow = field(default_factory=LatencyWindow)
+
+    def as_document(self) -> Dict[str, Any]:
+        return {
+            "jobs": {
+                "admitted": self.admitted,
+                "coalesced": self.coalesced,
+                "rejected_quota": self.rejected_quota,
+                "rejected_capacity": self.rejected_capacity,
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "failed": self.failed,
+            },
+            "sims": {"executed": self.sims_executed, "cache_hits": self.cache_hits},
+            "queue_wait_seconds": self.queue_wait.snapshot(),
+            "service_seconds": self.service_time.snapshot(),
+        }
+
+
+class _TenantRuntime:
+    """One tenant's live scheduler state (spec + queues + stride position)."""
+
+    __slots__ = ("spec", "lanes", "inflight", "pass_value", "accounting")
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.lanes: Dict[str, Deque[Any]] = {lane: deque() for lane in PRIORITY_LANES}
+        self.inflight = 0
+        self.pass_value = 0.0
+        self.accounting = TenantAccounting()
+
+    @property
+    def stride(self) -> float:
+        return STRIDE_SCALE / self.spec.weight
+
+    def queued(self) -> int:
+        return sum(len(lane) for lane in self.lanes.values())
+
+    def idle(self) -> bool:
+        return self.inflight == 0 and self.queued() == 0
+
+    def runnable_in(self, lane: str) -> bool:
+        if not self.lanes[lane]:
+            return False
+        cap = self.spec.max_inflight
+        return cap is None or self.inflight < cap
+
+
+class TenantScheduler:
+    """Stride-scheduled weighted fair queueing over per-tenant lanes.
+
+    The scheduler stores opaque items (the job manager hands it
+    ``JobState`` objects) and answers "whose turn is it?".  The caller owns
+    dispatch and completion, calling :meth:`pick` / :meth:`release` around
+    each execution.
+    """
+
+    def __init__(self, tenancy: TenancyConfig) -> None:
+        self.tenancy = tenancy
+        self._tenants: Dict[str, _TenantRuntime] = {}
+        #: Virtual time: the pass value of the most recent dispatch.  A
+        #: tenant waking from idle starts here, not at its stale pass.
+        self._virtual = 0.0
+        # Materialise configured tenants eagerly so /v1/stats lists them
+        # (with zeroed counters) before their first submission.
+        for spec in tenancy.tenants:
+            self._tenants[spec.name] = _TenantRuntime(spec)
+
+    # -- tenant access -------------------------------------------------
+
+    def runtime(self, name: str) -> _TenantRuntime:
+        """The live state for ``name``, created on first contact."""
+        runtime = self._tenants.get(name)
+        if runtime is None:
+            runtime = _TenantRuntime(self.tenancy.spec_for(name))
+            self._tenants[name] = runtime
+        return runtime
+
+    def accounting(self, name: str) -> TenantAccounting:
+        return self.runtime(name).accounting
+
+    def tenants(self) -> Iterable[_TenantRuntime]:
+        return self._tenants.values()
+
+    # -- queue state ---------------------------------------------------
+
+    def queued_total(self) -> int:
+        return sum(runtime.queued() for runtime in self._tenants.values())
+
+    def inflight_total(self) -> int:
+        return sum(runtime.inflight for runtime in self._tenants.values())
+
+    # -- scheduling ----------------------------------------------------
+
+    def enqueue(self, name: str, lane: str, item: _T) -> None:
+        """Queue ``item`` on the tenant's lane (quota checks are the
+        caller's job -- the scheduler never refuses work)."""
+        if lane not in PRIORITY_LANES:
+            raise ConfigurationError(f"unknown lane {lane!r}")
+        runtime = self.runtime(name)
+        if runtime.idle():
+            # Forward an idle tenant to the current virtual time: sleeping
+            # must not bank credit that would later monopolise the pool.
+            runtime.pass_value = max(runtime.pass_value, self._virtual)
+        runtime.lanes[lane].append(item)
+
+    def pick(self) -> Optional[Tuple[str, Any]]:
+        """Dispatch the next item, or ``None`` when nothing is runnable.
+
+        All interactive work drains before any batch work; within a lane the
+        runnable tenant with the smallest pass value wins (ties broken by
+        name for determinism).  The winner's pass advances by its stride and
+        its in-flight count is charged -- pair every pick with a
+        :meth:`release`.
+        """
+        for lane in PRIORITY_LANES:
+            best: Optional[_TenantRuntime] = None
+            for name in sorted(self._tenants):
+                runtime = self._tenants[name]
+                if not runtime.runnable_in(lane):
+                    continue
+                if best is None or runtime.pass_value < best.pass_value:
+                    best = runtime
+            if best is not None:
+                item = best.lanes[lane].popleft()
+                self._virtual = max(self._virtual, best.pass_value)
+                best.pass_value += best.stride
+                best.inflight += 1
+                best.accounting.dispatched += 1
+                return best.spec.name, item
+        return None
+
+    def release(self, name: str) -> None:
+        """Return a dispatched job's in-flight slot (on completion/failure)."""
+        runtime = self.runtime(name)
+        if runtime.inflight <= 0:
+            raise ConfigurationError(f"tenant {name!r} has no in-flight job to release")
+        runtime.inflight -= 1
+
+    # -- reporting -----------------------------------------------------
+
+    def work_shares(self) -> Dict[str, float]:
+        """Each tenant's fraction of all dispatched jobs (empty when none)."""
+        total = sum(rt.accounting.dispatched for rt in self._tenants.values())
+        if total == 0:
+            return {name: 0.0 for name in self._tenants}
+        return {
+            name: rt.accounting.dispatched / total
+            for name, rt in self._tenants.items()
+        }
+
+    def stats_document(self) -> Dict[str, Any]:
+        """The per-tenant section of ``GET /v1/stats``."""
+        shares = self.work_shares()
+        document: Dict[str, Any] = {}
+        for name in sorted(self._tenants):
+            runtime = self._tenants[name]
+            spec = runtime.spec
+            entry = runtime.accounting.as_document()
+            entry.update(
+                {
+                    "weight": spec.weight,
+                    "max_queued": spec.max_queued,
+                    "max_inflight": spec.max_inflight,
+                    "auth_required": spec.token is not None,
+                    "queued": runtime.queued(),
+                    "queued_by_lane": {
+                        lane: len(queue) for lane, queue in runtime.lanes.items()
+                    },
+                    "inflight": runtime.inflight,
+                    "work_share": shares[name],
+                }
+            )
+            document[name] = entry
+        return document
