@@ -11,32 +11,34 @@ having the hot paths report how long each *phase* of a simulation took:
 * ``dispatch``   -- parent-side parallel orchestration (pool map plus the
   shared-memory trace handoff).
 
-The accumulator is deliberately simple: a per-process dict of phase name to
-seconds, reset by the measurement harness around each timed run.  Worker
-processes accumulate into their own copies, which the parent never sees --
-the parent-side snapshot therefore describes serial (inline) execution
-fully, and parallel execution from the orchestrator's point of view, which
-is exactly the split the bench artifact reports.  The two ``perf_counter``
-calls per report are noise next to the phases being measured.
+This module is a thin compatibility shim over :mod:`repro.obs.spans`, which
+owns the accumulator (and additionally records individual spans while a
+profiling session is armed).  Worker processes accumulate into their own
+copies and ship the per-task deltas back with each result; the parent
+merges them (:func:`repro.obs.spans.merge_worker`), so parallel-mode
+snapshots now include real worker-side phase data alongside the parent's
+``dispatch`` orchestration time.  The accounting calls are O(1) dict
+updates per *phase report* (a handful per simulation, never per
+instruction), so they are noise next to the phases being measured.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-_PHASES: Dict[str, float] = {}
+from repro.obs import spans as _spans
 
 
 def add(phase: str, seconds: float) -> None:
     """Accumulate ``seconds`` of wall time under ``phase``."""
-    _PHASES[phase] = _PHASES.get(phase, 0.0) + seconds
+    _spans.add_phase(phase, seconds)
 
 
 def snapshot() -> Dict[str, float]:
     """The accumulated seconds per phase (a copy, sorted by phase name)."""
-    return {name: _PHASES[name] for name in sorted(_PHASES)}
+    return _spans.phase_totals()
 
 
 def reset() -> None:
     """Zero every phase (called by the bench harness between timed runs)."""
-    _PHASES.clear()
+    _spans.reset_phases()

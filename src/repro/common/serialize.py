@@ -155,6 +155,8 @@ class WireEnvelope:
     tenant: Any = None
     priority: Any = None
     schema_version: Any = None
+    #: Request correlation ID (``X-Repro-Trace-Id``); ``None`` when absent.
+    trace_id: Any = None
 
     @property
     def deprecated(self) -> bool:
@@ -168,6 +170,7 @@ def wire_envelope(
     tenant: Any = None,
     priority: Any = None,
     schema_version: Any = None,
+    trace_id: Any = None,
     wire_schema: int = WIRE_SCHEMA_VERSION,
 ) -> Dict[str, Any]:
     """Wrap ``payload`` in a versioned wire envelope.
@@ -175,9 +178,10 @@ def wire_envelope(
     The envelope is the unit every service endpoint sends and receives:
     ``{"wire_schema": N, "kind": "<message type>", "payload": <JSON>}``.
     Version-2 envelopes additionally carry ``tenant`` / ``priority``
-    (admission metadata for submissions) and ``schema_version`` (the
-    payload's own schema number) when provided.  ``payload`` may be any
-    :func:`to_jsonable`-serialisable object.
+    (admission metadata for submissions), ``schema_version`` (the payload's
+    own schema number) and ``trace_id`` (the request's correlation ID, also
+    carried in the ``X-Repro-Trace-Id`` header) when provided.  ``payload``
+    may be any :func:`to_jsonable`-serialisable object.
     """
     document: Dict[str, Any] = {
         "wire_schema": wire_schema,
@@ -191,6 +195,8 @@ def wire_envelope(
             document["priority"] = priority
         if schema_version is not None:
             document["schema_version"] = schema_version
+        if trace_id is not None:
+            document["trace_id"] = trace_id
     return document
 
 
@@ -221,6 +227,7 @@ def read_envelope(data: Any, kind: str) -> WireEnvelope:
         tenant=data.get("tenant"),
         priority=data.get("priority"),
         schema_version=data.get("schema_version"),
+        trace_id=data.get("trace_id"),
     )
 
 

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.common.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.trace.format import TRACE_FORMAT_VERSION
 from repro.uarch.result import CoreResult
 
@@ -70,8 +71,27 @@ class PruneReport:
 class ResultCache:
     """A directory of content-addressed :class:`CoreResult` records."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.root = Path(root)
+        # CLI-constructed caches share the process-global registry; the
+        # service hands in its own so embedded instances stay isolated.
+        registry = metrics if metrics is not None else get_registry()
+        requests = registry.counter(
+            "repro_cache_requests_total",
+            "Result-cache lookups, by outcome",
+            labelnames=("result",),
+        )
+        self._hits = requests.labels("hit")
+        self._misses = requests.labels("miss")
+        io_bytes = registry.counter(
+            "repro_cache_io_bytes_total",
+            "Bytes moved through the result cache, by direction",
+            labelnames=("direction",),
+        )
+        self._bytes_read = io_bytes.labels("read")
+        self._bytes_written = io_bytes.labels("written")
 
     def path_for(self, key: str) -> Path:
         """Return the file path a key maps to (two-level fan-out layout)."""
@@ -89,17 +109,25 @@ class ResultCache:
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            data = path.read_bytes()
+            payload = json.loads(data.decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self._misses.inc()
             return None
         if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+            self._misses.inc()
             return None
         if payload.get("trace_format") != TRACE_FORMAT_VERSION:
+            self._misses.inc()
             return None
         try:
-            return CoreResult.from_dict(payload["result"])
+            result = CoreResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError, ReproError):
+            self._misses.inc()
             return None
+        self._hits.inc()
+        self._bytes_read.inc(len(data))
+        return result
 
     def put(
         self, key: str, result: CoreResult, metadata: Optional[Dict[str, Any]] = None
@@ -121,8 +149,9 @@ class ResultCache:
         temporary = path.with_name(
             f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
+        document = json.dumps(payload, sort_keys=True)
         try:
-            temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            temporary.write_text(document, encoding="utf-8")
             os.replace(temporary, path)
         except BaseException:
             # Never leave a torn temporary behind: a reader can only ever see
@@ -132,6 +161,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._bytes_written.inc(len(document.encode("utf-8")))
         return path
 
     def __contains__(self, key: str) -> bool:

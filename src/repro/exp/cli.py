@@ -8,6 +8,7 @@ on-disk result cache::
     python -m repro fig7 --engine reference   # the unoptimised ground-truth loop
     python -m repro cache list
     python -m repro bench --jobs 4 --gate BENCH_pr1.json --output BENCH_pr4.json
+    python -m repro profile fig7 --trace-out fig7-trace.json --jobs 4
 
 Every figure command prints the paper-layout text table plus a one-line
 runner summary (simulations executed vs cache hits); ``--json`` additionally
@@ -31,6 +32,8 @@ from repro.common import phases
 from repro.common.errors import ReproError
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
+from repro.obs import spans as obs_spans
+from repro.obs.logs import LOG_LEVELS, configure_logging
 from repro.exp.runner import ExperimentRunner, available_cpus, clear_trace_memo
 from repro.sim import tables
 from repro.sim.configs import PAPER_CONFIGS
@@ -577,11 +580,60 @@ def run_version_command(_args: argparse.Namespace) -> int:
     return 0
 
 
+def run_profile_command(args: argparse.Namespace) -> int:
+    """Implement ``repro profile``: run one figure with span recording armed.
+
+    The campaign runs with the cache disabled so every simulation actually
+    executes (a fully cached run would profile nothing).  Spans recorded in
+    this process are merged with the ones each pool worker ships back with
+    its results, and the combined timeline is written as Chrome trace-event
+    JSON -- load it at https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    spec = FIGURES[args.figure]
+    runner = ExperimentRunner(jobs=args.jobs, cache=None)
+    context = build_context(args, runner)
+    phases.reset()
+    obs_spans.reset()
+    obs_spans.start_recording()
+    started = time.perf_counter()
+    try:
+        with obs_spans.span(f"profile:{args.figure}", category="profile"):
+            spec.run(context)
+    finally:
+        obs_spans.stop_recording()
+        runner.close()
+    elapsed = time.perf_counter() - started
+    spans = obs_spans.snapshot()
+    document = obs_spans.to_chrome_trace(
+        spans,
+        metadata={
+            "figure": args.figure,
+            "jobs": args.jobs,
+            "engine": getattr(args, "engine", None) or DEFAULT_ENGINE,
+            "repro_version": __version__,
+            "phase_totals": phases.snapshot(),
+        },
+    )
+    Path(args.trace_out).write_text(json.dumps(document, indent=2, sort_keys=True))
+    processes = {entry["pid"] for entry in spans}
+    if not args.quiet:
+        dropped = obs_spans.dropped()
+        suffix = f" ({dropped} dropped past the span cap)" if dropped else ""
+        print(
+            f"[repro] {args.figure}: {len(spans)} spans from "
+            f"{len(processes)} process(es) in {elapsed:.2f}s, "
+            f"{runner.executed_jobs} simulations{suffix}"
+        )
+        print(f"[repro] wrote {args.trace_out}")
+    return 0
+
+
 def run_serve_command(args: argparse.Namespace) -> int:
     """Implement ``repro serve``: run the simulation service until Ctrl-C."""
     from repro.service.server import ServiceConfig, serve
     from repro.service.tenancy import TenancyConfig
 
+    configure_logging(args.log_level, json_format=args.log_json)
     tenancy = TenancyConfig.from_file(args.tenants) if args.tenants else None
     config = ServiceConfig(
         host=args.host,
@@ -886,7 +938,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant roster (weights, quotas, auth tokens); without it the "
         "server runs open: any tenant name, default limits",
     )
+    sub.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="service log verbosity (default: info)",
+    )
+    sub.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON object per log line (with trace IDs) instead of text",
+    )
     sub.set_defaults(handler=run_serve_command)
+
+    sub = subparsers.add_parser(
+        "profile",
+        help="run one figure with span profiling and write a Chrome trace JSON",
+    )
+    sub.add_argument("figure", choices=sorted(FIGURES), help="figure/table to profile")
+    sub.add_argument(
+        "--trace-out",
+        required=True,
+        metavar="FILE.json",
+        help="write the Chrome trace-event document here (Perfetto-loadable)",
+    )
+    _add_campaign_arguments(sub, default_jobs=2, with_cache=False)
+    sub.add_argument("--quiet", action="store_true", help="suppress the summary lines")
+    sub.set_defaults(handler=run_profile_command)
 
     sub = subparsers.add_parser(
         "submit", help="submit a figure to a running server and wait for the result"

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tup
 
 from repro.common import phases
 from repro.common.errors import ConfigurationError
+from repro.obs import spans as obs_spans
 from repro.common.serialize import stable_hash, to_jsonable
 from repro.exp.cache import ResultCache
 from repro.isa.trace import Trace
@@ -298,13 +299,21 @@ def _attach_shipped_trace(payload: Tuple[str, Any]) -> Trace:
     return trace_from_bytes(value, validate=False).trace
 
 
-def _pool_worker(task: _Task) -> Tuple[str, Dict[str, Any]]:
+def _pool_worker(task: _Task) -> Tuple[str, Dict[str, Any], Dict[str, Any]]:
     """Pool entry point: run a job and ship the result back as plain JSON types.
 
     A shipped trace payload is installed into this worker's trace memo
     first, so :func:`run_job` finds it there and regenerates nothing; if
     attaching fails for any reason the worker falls back to generating the
     trace itself (the two are bit-identical by the determinism contract).
+
+    Alongside the result, each task returns its observability delta -- the
+    phase seconds and spans this task accumulated in *this* process -- so
+    the parent can merge worker-side instrumentation into its own
+    (:func:`repro.obs.spans.merge_worker`) instead of losing it.  The
+    bracketing (totals-before / spans drained after) keeps the delta exact
+    even when the worker is long-lived, and leaves global state untouched
+    when the "pool" is an in-process test double.
     """
     job = task.job
     if task.payload is not None:
@@ -318,7 +327,25 @@ def _pool_worker(task: _Task) -> Tuple[str, Dict[str, Any]]:
                 if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
                     _TRACE_MEMO.clear()
                 _TRACE_MEMO[memo_key] = trace
-    return job.key(), run_job(job).to_dict()
+    totals_before = obs_spans.phase_totals()
+    mark = obs_spans.span_count()
+    was_recording = obs_spans.recording()
+    obs_spans.set_recording(True)
+    try:
+        payload = run_job(job).to_dict()
+    finally:
+        obs_spans.set_recording(was_recording)
+    phase_delta = {
+        name: seconds - totals_before.get(name, 0.0)
+        for name, seconds in obs_spans.phase_totals().items()
+        if seconds - totals_before.get(name, 0.0) > 0.0
+    }
+    observations = {
+        "pid": os.getpid(),
+        "phases": phase_delta,
+        "spans": obs_spans.drain_after(mark),
+    }
+    return job.key(), payload, observations
 
 
 def _relabel(result: CoreResult, machine_name: str) -> CoreResult:
@@ -501,11 +528,20 @@ class ExperimentRunner:
                         segment.unlink()
                     except OSError:  # pragma: no cover - already gone
                         pass
+            # Parent-side orchestration cost first (before worker phases are
+            # merged, so their generation time cannot deflate `dispatch`),
+            # then fold each worker task's phase/span observations in --
+            # parallel snapshots carry real worker breakdowns, not a blind
+            # spot.
             generation_delta = phases.snapshot().get("generation", 0.0) - generation_before
             phases.add(
                 "dispatch", perf_counter() - dispatch_started - generation_delta
             )
-            return {key: CoreResult.from_dict(payload) for key, payload in pairs}
+            results: Dict[str, CoreResult] = {}
+            for key, payload, observations in pairs:
+                obs_spans.merge_worker(observations)
+                results[key] = CoreResult.from_dict(payload)
+            return results
         return {key: run_job(job) for key, job in misses.items()}
 
     def run_suite(

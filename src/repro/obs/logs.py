@@ -1,0 +1,111 @@
+"""Structured logging: stdlib ``logging`` with trace-ID injection.
+
+The service logs through the ``repro`` logger hierarchy
+(:func:`get_logger`), and :func:`configure_logging` installs exactly one
+stream handler on its root -- either the human-readable text format or
+one-JSON-object-per-line (``repro serve --log-json``).  Both formatters
+inject the current request's trace ID automatically: an explicit
+``extra={"trace_id": ...}`` on the log call wins, else the contextvar bound
+by :mod:`repro.obs.tracing` is consulted, so every log line a request
+produces carries that request's ID with no plumbing at the call sites.
+
+JSON lines carry ``ts`` (unix seconds), ``level``, ``logger``, ``message``,
+``trace_id`` (when one is bound) and any extra fields passed via
+``extra=``; exceptions append a ``exc_info`` traceback string.  Keys are
+sorted, so the output is diff- and grep-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any, Dict, Optional
+
+from repro.obs.tracing import current_trace_id
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` names.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: LogRecord attributes that are plumbing, not user-supplied extras.
+_RESERVED_RECORD_FIELDS = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "taskName", "trace_id"}
+
+
+def _record_trace_id(record: logging.LogRecord) -> Optional[str]:
+    explicit = getattr(record, "trace_id", None)
+    return explicit if explicit is not None else current_trace_id()
+
+
+def _record_extras(record: logging.LogRecord) -> Dict[str, Any]:
+    return {
+        key: value
+        for key, value in vars(record).items()
+        if key not in _RESERVED_RECORD_FIELDS and not key.startswith("_")
+    }
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line, with the trace ID injected."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: Dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = _record_trace_id(record)
+        if trace_id is not None:
+            document["trace_id"] = trace_id
+        document.update(_record_extras(record))
+        if record.exc_info:
+            document["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """The human-readable format, with the trace ID as a suffix field."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        trace_id = _record_trace_id(record)
+        if trace_id is not None:
+            line += f" trace_id={trace_id}"
+        return line
+
+
+def configure_logging(
+    level: str = "info", json_format: bool = False, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install the package's log handler (idempotent; replaces its own).
+
+    Only handlers this function installed are replaced, so an embedding
+    application's logging configuration is never disturbed.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {LOG_LEVELS})")
+    logger.setLevel(getattr(logging, level.upper()))
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter() if json_format else TextLogFormatter())
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("service")``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

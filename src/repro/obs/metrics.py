@@ -1,0 +1,424 @@
+"""The metrics registry: counters, gauges and summaries with exposition.
+
+Every layer of the stack reports into one :class:`MetricsRegistry` -- the
+HTTP server (requests by endpoint/status), the job manager (queue depths,
+per-tenant dispatch and rejections), and the result cache (hits, misses,
+bytes).  A registry renders two ways:
+
+* :meth:`MetricsRegistry.render_text` -- the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` lines, escaped labels, summaries as
+  ``name{quantile="0.5"}`` samples plus ``_count`` / ``_sum``), served at
+  ``GET /v1/metrics``;
+* :meth:`MetricsRegistry.as_document` -- the same data as plain JSON for
+  programmatic consumers (``GET /v1/metrics?format=json``).
+
+Three metric kinds cover the service's needs, all pure dict operations off
+the per-instruction hot path:
+
+* :class:`Counter` -- monotonically increasing totals,
+* :class:`Gauge` -- point-in-time values, either set directly or computed
+  at render time from a callback (queue depth, uptime),
+* :class:`Summary` -- a bounded :class:`Reservoir` of samples per label set
+  with windowed percentiles, generalising the tenancy layer's latency
+  window (which is now an alias of :class:`Reservoir`).
+
+Registries are cheap and isolated: each server instance owns one, so two
+in-process test servers never share counters.  :data:`REGISTRY` is the
+process-wide default for code with no server to hang a registry on (the
+CLI's result cache).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Default bounded-reservoir size for summary samples (newest kept).
+RESERVOIR_LIMIT = 1024
+
+#: The quantiles a summary exposes in its text exposition and snapshots.
+SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class Reservoir:
+    """A bounded reservoir of samples with percentile summaries.
+
+    Lifetime ``count`` / ``total`` never shrink; percentiles are computed
+    over the retained window (the newest ``limit`` samples).  Two
+    percentile flavours are exposed: :meth:`percentile` uses nearest-rank
+    selection (the stats wire format's historical semantics) and
+    :meth:`quantile` uses inclusive linear interpolation, matching
+    ``statistics.quantiles(..., method="inclusive")``.
+    """
+
+    __slots__ = ("_samples", "count", "total")
+
+    def __init__(self, limit: int = RESERVOIR_LIMIT) -> None:
+        self._samples: Deque[float] = deque(maxlen=limit)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self.count += 1
+        self.total += value
+
+    #: Prometheus-style alias so a summary child reads naturally.
+    observe = record
+
+    def percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile over the retained window (0.0 if empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, -(-int(quantile * 100) * len(ordered) // 100))  # ceil
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def quantile(self, q: float) -> float:
+        """Linearly interpolated quantile (inclusive method, 0.0 if empty).
+
+        For ``n`` retained samples the quantile sits at position
+        ``q * (n - 1)`` of the sorted window, interpolating between the two
+        straddling samples -- the same estimator as
+        ``statistics.quantiles(samples, method="inclusive")``.
+        """
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    def snapshot(self) -> Dict[str, float]:
+        """The wire form: lifetime count/mean plus windowed percentiles."""
+        return {
+            "count": self.count,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": max(self._samples) if self._samples else 0.0,
+        }
+
+
+class _CounterChild:
+    """One labelled counter series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class _GaugeChild:
+    """One labelled gauge series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class MetricFamily:
+    """One named metric and its children (one child per label-value set).
+
+    A zero-label family has exactly one child, and the child's methods
+    (``inc`` / ``set`` / ``record``) are available on the family itself so
+    call sites need no empty ``labels()`` hop.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> None:
+        _validate_metric_name(name)
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _validate_metric_name(label)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def labels(self, *values: Any, **kwargs: Any) -> Any:
+        """The child for one label-value set, created on first use."""
+        if values and kwargs:
+            raise ConfigurationError("pass label values positionally or by name, not both")
+        if kwargs:
+            try:
+                values = tuple(str(kwargs.pop(label)) for label in self.labelnames)
+            except KeyError as error:
+                raise ConfigurationError(
+                    f"metric {self.name!r} is missing label {error.args[0]!r}"
+                ) from None
+            if kwargs:
+                raise ConfigurationError(
+                    f"metric {self.name!r} has no labels {sorted(kwargs)}"
+                )
+        else:
+            values = tuple(str(value) for value in values)
+        if len(values) != len(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes {len(self.labelnames)} label values "
+                f"({', '.join(self.labelnames)}), got {len(values)}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child()
+            self._children[values] = child
+        return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """Every ``(label values, child)`` pair, sorted for stable output."""
+        return sorted(self._children.items())
+
+    # -- zero-label convenience passthrough ----------------------------
+
+    def _sole_child(self) -> Any:
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} has labels {self.labelnames}; call .labels() first"
+            )
+        return self._children[()]
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._sole_child().value
+
+
+class Gauge(MetricFamily):
+    """A point-in-time value, set directly or computed at render time."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._callback: Optional[Callable[[], float]] = None
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set_function(self, callback: Callable[[], float]) -> "Gauge":
+        """Compute this (zero-label) gauge's value lazily at render time."""
+        self._sole_child()  # raises on labelled families
+        self._callback = callback
+        return self
+
+    def refresh(self) -> None:
+        if self._callback is not None:
+            self._children[()].set(float(self._callback()))
+
+    def set(self, value: float) -> None:
+        self._sole_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        self.refresh()
+        return self._sole_child().value
+
+
+class Summary(MetricFamily):
+    """A bounded reservoir of samples per label set, with percentiles."""
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str] = (),
+        limit: int = RESERVOIR_LIMIT,
+    ) -> None:
+        self._limit = limit
+        super().__init__(name, help_text, labelnames)
+
+    def _make_child(self) -> Reservoir:
+        return Reservoir(limit=self._limit)
+
+    def record(self, value: float) -> None:
+        self._sole_child().record(value)
+
+    observe = record
+
+
+class MetricsRegistry:
+    """A named collection of metric families with get-or-create semantics.
+
+    Registering the same name twice returns the existing family when the
+    kind, help text and label names agree, and raises otherwise -- two call
+    sites silently disagreeing about a metric's shape is always a bug.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, cls, name: str, help_text: str, labelnames, **kwargs) -> Any:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (
+                type(existing) is not cls
+                or existing.labelnames != tuple(labelnames)
+                or existing.help != help_text
+            ):
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        family = cls(name, help_text, labelnames, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def summary(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str] = (),
+        limit: int = RESERVOIR_LIMIT,
+    ) -> Summary:
+        return self._register(Summary, name, help_text, labelnames, limit=limit)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if isinstance(family, Gauge):
+                family.refresh()
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.children():
+                labels = list(zip(family.labelnames, values))
+                if isinstance(child, Reservoir):
+                    for q in SUMMARY_QUANTILES:
+                        quantiled = labels + [("quantile", _format_value(q))]
+                        lines.append(
+                            f"{family.name}{_render_labels(quantiled)} "
+                            f"{_format_value(child.quantile(q))}"
+                        )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} {child.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_format_value(child.total)}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_document(self) -> Dict[str, Any]:
+        """The registry as plain JSON (``GET /v1/metrics?format=json``)."""
+        metrics: List[Dict[str, Any]] = []
+        for family in self.families():
+            if isinstance(family, Gauge):
+                family.refresh()
+            samples: List[Dict[str, Any]] = []
+            for values, child in family.children():
+                labels = dict(zip(family.labelnames, values))
+                if isinstance(child, Reservoir):
+                    samples.append({"labels": labels, **child.snapshot()})
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            metrics.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            )
+        return {"metrics": metrics}
+
+
+def _validate_metric_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name) or name[0].isdigit():
+        raise ConfigurationError(f"invalid metric/label name {name!r}")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: List[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    if value == as_int and abs(value) < 1e15:
+        return str(as_int)
+    return repr(float(value))
+
+
+#: The process-wide default registry, for code with no server-owned registry
+#: in reach (the CLI's result cache).  Server instances create their own so
+#: in-process test servers stay isolated.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

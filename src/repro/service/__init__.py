@@ -7,8 +7,12 @@ owns the cache:
 
 * :mod:`repro.service.server` -- :class:`~repro.service.server.ReproService`,
   an asyncio HTTP server (stdlib only, no framework) exposing
-  ``POST /v1/jobs``, ``GET /v1/jobs/{id}``, ``GET /v1/results/{key}`` and
-  ``GET /v1/healthz``.
+  ``POST /v1/jobs``, ``GET /v1/jobs/{id}``, ``GET /v1/results/{key}``,
+  ``GET /v1/healthz``, ``GET /v1/stats`` and ``GET /v1/metrics`` (Prometheus
+  text exposition backed by a per-server :mod:`repro.obs` registry).  Every
+  response echoes the request's ``X-Repro-Trace-Id``, and the service logs
+  through :mod:`repro.obs.logs` (``repro serve --log-json`` for structured
+  lines).
 * :mod:`repro.service.jobs` -- :class:`~repro.service.jobs.JobManager`:
   request coalescing (identical in-flight submissions share one execution,
   even across tenants), tenant-aware admission control (global queue bound

@@ -1,6 +1,9 @@
 """The client SDK: a small blocking client over the service's wire schema.
 
-Pure standard library (``urllib``); mirrors the five ``/v1`` endpoints.
+Pure standard library (``urllib``); mirrors the ``/v1`` endpoints.  Every
+request carries an ``X-Repro-Trace-Id`` correlation header (minted here when
+the caller has none); submissions also embed it in the wire envelope, and the
+server echoes it back (see :attr:`SubmitReceipt.trace_id`).
 Connection configuration (base URL, timeout, tenant identity, auth token)
 lives on the client; per-call knobs are keyword-only on :meth:`submit`:
 
@@ -36,9 +39,10 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.common.errors import ErrorCode, ServiceError, ServiceOverloadedError
-from repro.common.serialize import open_envelope, wire_envelope
+from repro.common.serialize import open_envelope, read_envelope, wire_envelope
 from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
 from repro.exp.runner import SimJob
+from repro.obs.tracing import TRACE_ID_HEADER, current_trace_id, new_trace_id
 
 #: A direct (proxy-free) opener: the service is always an explicit HTTP peer,
 #: and honouring http_proxy/https_proxy env vars would route even loopback
@@ -62,6 +66,9 @@ class SubmitReceipt:
     priority: Optional[str] = None
     #: Migration note when the server deprecates the submission's schema.
     deprecation: Optional[str] = None
+    #: The correlation ID this submission travelled under (minted client-side,
+    #: echoed by the server in the envelope and ``X-Repro-Trace-Id`` header).
+    trace_id: Optional[str] = None
 
 
 class ServiceClient:
@@ -88,15 +95,25 @@ class ServiceClient:
     # -- transport -----------------------------------------------------
 
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Any]:
         """Issue one request; returns ``(status, parsed JSON body)``.
 
-        HTTP error statuses are returned (not raised) so callers can map them
-        to domain errors; transport failures raise :class:`ServiceError`.
+        Every request carries an ``X-Repro-Trace-Id``: the caller's explicit
+        ``trace_id``, else the ambient one (:func:`current_trace_id`), else a
+        freshly minted ID -- so even ad-hoc GETs are correlatable in the
+        server's logs.  HTTP error statuses are returned (not raised) so
+        callers can map them to domain errors; transport failures raise
+        :class:`ServiceError`.
         """
         data = None
-        headers = {"Accept": "application/json"}
+        if trace_id is None:
+            trace_id = current_trace_id() or new_trace_id()
+        headers = {"Accept": "application/json", TRACE_ID_HEADER: trace_id}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
         if self.tenant is not None:
@@ -176,6 +193,13 @@ class ServiceClient:
             raise ServiceError(f"stats failed ({status}): {self._error_message(data)}")
         return open_envelope(data, "stats")
 
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics?format=json``: the server's metrics document."""
+        status, data = self._request("GET", "/v1/metrics?format=json")
+        if status != 200:
+            raise ServiceError(f"metrics failed ({status}): {self._error_message(data)}")
+        return open_envelope(data, "metrics")
+
     def submit(self, *args: Any, **kwargs: Any) -> Any:
         """``POST /v1/jobs``: submit a figure campaign or an explicit batch.
 
@@ -223,6 +247,9 @@ class ServiceClient:
         timeout: float = 600.0,
     ) -> Any:
         tenant = tenant if tenant is not None else self.tenant
+        # One trace ID covers the whole submission: minted here, sent in both
+        # the envelope and the header, echoed back in the receipt.
+        trace_id = current_trace_id() or new_trace_id()
         request = JobRequest(
             figure=figure,
             cases=tuple(cases or ()),
@@ -242,13 +269,16 @@ class ServiceClient:
                 tenant=tenant,
                 priority=priority,
                 schema_version=REQUEST_SCHEMA_VERSION,
+                trace_id=trace_id,
             ),
+            trace_id=trace_id,
         )
         if status == 429:
             self._raise_overloaded(data)
         if status not in (200, 202):
             raise ServiceError(f"submission rejected ({status}): {self._error_message(data)}")
-        payload = open_envelope(data, "job_accepted")
+        envelope = read_envelope(data, "job_accepted")
+        payload = envelope.payload
         receipt = SubmitReceipt(
             job_id=payload["job_id"],
             request_key=payload["request_key"],
@@ -257,6 +287,7 @@ class ServiceClient:
             tenant=payload.get("tenant"),
             priority=payload.get("priority"),
             deprecation=payload.get("deprecation"),
+            trace_id=envelope.trace_id if envelope.trace_id is not None else trace_id,
         )
         if wait:
             return self.wait(receipt.job_id, timeout=timeout)

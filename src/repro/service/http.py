@@ -128,18 +128,39 @@ async def read_request(reader) -> Optional[HTTPRequest]:
     )
 
 
-def json_response(
-    status: int, payload: Any, extra_headers: Sequence[Tuple[str, str]] = ()
+def _render_response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: Sequence[Tuple[str, str]] = (),
 ) -> bytes:
-    """Render a complete JSON response (headers + body) as bytes."""
-    body = json.dumps(payload, sort_keys=True).encode("utf-8")
     reason = REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
     lines.extend(f"{name}: {value}" for name, value in extra_headers)
     head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int, payload: Any, extra_headers: Sequence[Tuple[str, str]] = ()
+) -> bytes:
+    """Render a complete JSON response (headers + body) as bytes."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _render_response(status, body, "application/json", extra_headers)
+
+
+def text_response(
+    status: int, text: str, extra_headers: Sequence[Tuple[str, str]] = ()
+) -> bytes:
+    """Render a plain-text response (the Prometheus exposition content type)."""
+    return _render_response(
+        status,
+        text.encode("utf-8"),
+        "text/plain; version=0.0.4; charset=utf-8",
+        extra_headers,
+    )

@@ -52,6 +52,9 @@ from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
 from repro.exp.request import JobRequest
 from repro.exp.runner import ExperimentRunner
+from repro.obs import spans
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.service.tenancy import (
     LANE_BATCH,
     LANE_INTERACTIVE,
@@ -59,6 +62,13 @@ from repro.service.tenancy import (
     TenantScheduler,
 )
 from repro.sim.experiments import campaign_context, experiment_by_name
+
+#: Schema of the ``GET /v1/stats`` document.  Version 2 added the
+#: ``schema_version`` marker itself and guaranteed ``uptime_seconds`` as a
+#: stable float field; v2 is the documented stable contract for scrapers.
+STATS_SCHEMA_VERSION = 2
+
+log = get_logger("service.jobs")
 
 
 class JobStatus(enum.Enum):
@@ -82,6 +92,9 @@ class JobState:
     #: submitter's tenant owns a coalesced job).
     tenant: str = "default"
     lane: str = LANE_BATCH
+    #: The correlation ID of the submission that created this job (the
+    #: first submitter's, for a coalesced job), echoed in status documents.
+    trace_id: Optional[str] = None
     status: JobStatus = JobStatus.QUEUED
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -104,6 +117,7 @@ class JobState:
             "request_key": self.key,
             "tenant": self.tenant,
             "priority": self.lane,
+            "trace_id": self.trace_id,
             "figure": self.request.figure,
             "case_count": len(self.request.cases),
             "instructions": self.request.instructions,
@@ -137,6 +151,7 @@ class JobManager:
         queue_limit: int = 8,
         history_limit: int = 256,
         tenancy: Optional[TenancyConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cache = cache
         self.workers = max(1, workers)
@@ -144,7 +159,11 @@ class JobManager:
         self.queue_limit = max(1, queue_limit)
         self.history_limit = max(1, history_limit)
         self.tenancy = tenancy if tenancy is not None else TenancyConfig.open()
-        self.scheduler = TenantScheduler(self.tenancy)
+        #: The registry this manager (and its scheduler/tenants) report
+        #: into; a private one per manager by default, so embedded test
+        #: servers never share counters.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.scheduler = TenantScheduler(self.tenancy, metrics=self.metrics)
         self.jobs: Dict[str, JobState] = {}
         self._inflight: Dict[str, str] = {}
         #: Set whenever scheduler state changes; idle workers wait on it.
@@ -166,6 +185,20 @@ class JobManager:
         self._service_time_count = 0
         #: Test hook: called (in the worker thread) just before execution.
         self.pre_execute: Optional[Callable[[JobState], None]] = None
+        # Queue-state gauges, computed at scrape time so they can never
+        # drift from the scheduler's actual state.
+        self.metrics.gauge(
+            "repro_queue_depth", "Jobs queued (not yet running)"
+        ).set_function(self.scheduler.queued_total)
+        self.metrics.gauge(
+            "repro_queue_limit", "Admission-control bound on queued jobs"
+        ).set_function(lambda: self.queue_limit)
+        self.metrics.gauge(
+            "repro_jobs_inflight", "Jobs currently executing"
+        ).set_function(self.scheduler.inflight_total)
+        self.metrics.gauge(
+            "repro_uptime_seconds", "Seconds since this job manager started"
+        ).set_function(lambda: time.time() - self.started_at)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -194,7 +227,9 @@ class JobManager:
             return request.priority
         return LANE_BATCH if request.full else LANE_INTERACTIVE
 
-    def submit(self, request: JobRequest) -> Tuple[JobState, bool]:
+    def submit(
+        self, request: JobRequest, trace_id: Optional[str] = None
+    ) -> Tuple[JobState, bool]:
         """Admit a request; returns ``(job, coalesced)``.
 
         An identical in-flight request (same content address, still queued or
@@ -203,6 +238,8 @@ class JobManager:
         quotas (they add no work).  Otherwise admission charges the resolved
         tenant: a full tenant quota or a full server-wide queue raises
         :class:`ServiceOverloadedError` with the matching error code.
+        ``trace_id`` is the submission's correlation ID; the first
+        submitter's ID owns a coalesced job.
         """
         request = request.normalized()
         tenant = request.tenant if request.tenant is not None else self.tenancy.default_tenant
@@ -217,10 +254,13 @@ class JobManager:
             state = self.jobs[existing_id]
             state.coalesced_submissions += 1
             self.stats["coalesced"] += 1
-            accounting.coalesced += 1
+            accounting.inc("coalesced")
+            log.debug(
+                "submission coalesced with %s", state.job_id, extra={"tenant": tenant}
+            )
             return state, True
         if runtime.spec.max_queued is not None and runtime.queued() >= runtime.spec.max_queued:
-            accounting.rejected_quota += 1
+            accounting.inc("rejected_quota")
             self.rejections["tenant_quota_exceeded"] += 1
             raise ServiceOverloadedError(
                 f"tenant {tenant!r} already has {runtime.queued()} jobs queued "
@@ -230,7 +270,7 @@ class JobManager:
                 retry_after=self.retry_after_hint(runtime.queued()),
             )
         if self.scheduler.queued_total() >= self.queue_limit:
-            accounting.rejected_capacity += 1
+            accounting.inc("rejected_capacity")
             self.rejections["overloaded"] += 1
             raise ServiceOverloadedError(
                 f"job queue is full ({self.queue_limit} pending); retry later",
@@ -245,14 +285,21 @@ class JobManager:
             submitted_at=time.time(),
             tenant=tenant,
             lane=lane,
+            trace_id=trace_id,
         )
         self.scheduler.enqueue(tenant, lane, state)
         self._work_available.set()
         self.jobs[state.job_id] = state
         self._inflight[key] = state.job_id
         self.stats["submitted"] += 1
-        accounting.admitted += 1
+        accounting.inc("admitted")
         self._trim_history()
+        log.info(
+            "admitted %s (%s lane)",
+            state.job_id,
+            lane,
+            extra={"tenant": tenant, "trace_id": trace_id},
+        )
         return state, False
 
     def retry_after_hint(self, queued_ahead: int) -> int:
@@ -336,7 +383,7 @@ class JobManager:
                 state.result = await self._run_on_daemon_thread(state)
                 state.status = JobStatus.COMPLETED
                 self.stats["completed"] += 1
-                accounting.completed += 1
+                accounting.inc("completed")
             except asyncio.CancelledError:
                 state.status = JobStatus.FAILED
                 state.error = "server shut down before the job finished"
@@ -345,17 +392,49 @@ class JobManager:
                 state.status = JobStatus.FAILED
                 state.error = f"{type(error).__name__}: {error}"
                 self.stats["failed"] += 1
-                accounting.failed += 1
+                accounting.inc("failed")
+                log.warning(
+                    "job %s failed: %s",
+                    state.job_id,
+                    state.error,
+                    extra={"tenant": state.tenant, "trace_id": state.trace_id},
+                )
             finally:
                 state.finished_at = time.time()
                 service_seconds = state.finished_at - state.started_at
                 accounting.service_time.record(service_seconds)
-                accounting.service_seconds += service_seconds
                 self._service_time_sum += service_seconds
                 self._service_time_count += 1
+                span_args = {
+                    "job_id": state.job_id,
+                    "tenant": state.tenant,
+                    "trace_id": state.trace_id,
+                }
+                spans.record(
+                    "job.queue_wait",
+                    state.submitted_at,
+                    state.started_at - state.submitted_at,
+                    category="service",
+                    args=span_args,
+                )
+                spans.record(
+                    "job.execute",
+                    state.started_at,
+                    service_seconds,
+                    category="service",
+                    args=span_args,
+                )
                 if state.runner is not None:
-                    accounting.sims_executed += state.runner.executed_jobs
-                    accounting.cache_hits += state.runner.cache_hits
+                    accounting.add_sims(
+                        state.runner.executed_jobs, state.runner.cache_hits
+                    )
+                log.info(
+                    "job %s finished as %s in %.3fs",
+                    state.job_id,
+                    state.status.value,
+                    service_seconds,
+                    extra={"tenant": state.tenant, "trace_id": state.trace_id},
+                )
                 if self._inflight.get(state.key) == state.job_id:
                     del self._inflight[state.key]
                 self.scheduler.release(state.tenant)
@@ -444,8 +523,14 @@ class JobManager:
         }
 
     def stats_document(self) -> Dict[str, Any]:
-        """The ``GET /v1/stats`` document: per-tenant usage and latency."""
+        """The ``GET /v1/stats`` document: per-tenant usage and latency.
+
+        This is a stable v2 contract: ``schema_version`` names the document's
+        own schema and ``uptime_seconds`` is guaranteed present as a float.
+        Additive changes bump :data:`STATS_SCHEMA_VERSION`.
+        """
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "uptime_seconds": time.time() - self.started_at,
             "queue": {
                 "depth": self.scheduler.queued_total(),

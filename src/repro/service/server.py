@@ -18,6 +18,14 @@ Endpoints (all JSON, wrapped in versioned wire envelopes, see
   quotas, work shares, queue-wait and service-time percentiles).
 * ``GET /v1/healthz`` -- liveness, version, queue depth, job statistics and
   a per-tenant queue summary.
+* ``GET /v1/metrics`` -- the server's metrics registry in Prometheus text
+  exposition format (``?format=json`` for the JSON document instead).
+
+**Tracing.** Every request is assigned a trace ID: a valid incoming
+``X-Repro-Trace-Id`` header (or v2-envelope ``trace_id``) is honoured,
+anything else gets a freshly minted one.  The ID is echoed in the response's
+``X-Repro-Trace-Id`` header and envelope, attached to the admitted job, and
+injected into every log line the request produces.
 
 **Tenancy.** A submission's tenant comes from (in precedence order) the v2
 envelope's ``tenant`` field, the request payload's ``tenant`` field, or the
@@ -36,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import hmac
+import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
@@ -47,9 +56,25 @@ from repro.common.errors import (
 from repro.common.serialize import WIRE_SCHEMA_VERSION, read_envelope, wire_envelope
 from repro.exp.cache import ResultCache
 from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
-from repro.service.http import HTTPRequest, ProtocolError, json_response, read_request
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    TRACE_ID_HEADER,
+    ensure_trace_id,
+    reset_trace_id,
+    set_trace_id,
+)
+from repro.service.http import (
+    HTTPRequest,
+    ProtocolError,
+    json_response,
+    read_request,
+    text_response,
+)
 from repro.service.jobs import JobManager
 from repro.service.tenancy import TenancyConfig
+
+log = get_logger("service.server")
 
 #: Default TCP port (``repro`` on a phone keypad would not fit; 8077 does).
 #: Mirrored by the CLI's ``DEFAULT_SERVICE_PORT`` (kept lazy-import-free
@@ -103,7 +128,14 @@ class ReproService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
-        cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        # One registry per server instance: embedded test servers stay
+        # isolated from each other and from the process-global default.
+        self.metrics = MetricsRegistry()
+        cache = (
+            ResultCache(config.cache_dir, metrics=self.metrics)
+            if config.cache_dir
+            else None
+        )
         self.manager = JobManager(
             cache=cache,
             workers=config.workers,
@@ -111,6 +143,24 @@ class ReproService:
             queue_limit=config.queue_limit,
             history_limit=config.history_limit,
             tenancy=config.tenancy,
+            metrics=self.metrics,
+        )
+        from repro._version import __version__
+
+        self.metrics.gauge(
+            "repro_build_info",
+            "Constant 1; the labels carry the build's version",
+            labelnames=("version",),
+        ).labels(__version__).set(1)
+        self._http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint, method and status",
+            labelnames=("endpoint", "method", "status"),
+        )
+        self._http_latency = self.metrics.summary(
+            "repro_http_request_seconds",
+            "Wall-clock time spent handling each request",
+            labelnames=("endpoint",),
         )
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -144,6 +194,11 @@ class ReproService:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        request: Optional[HTTPRequest] = None
+        # Mint a trace ID up front so even unparseable requests get a
+        # correlated error response; a valid incoming header replaces it.
+        trace_id = ensure_trace_id(None)
+        started = time.monotonic()
         try:
             try:
                 request = await asyncio.wait_for(
@@ -151,11 +206,18 @@ class ReproService:
                 )
                 if request is None:
                     return
-                response = self._dispatch(request)
+                trace_id = ensure_trace_id(request.headers.get("x-repro-trace-id"))
+                token = set_trace_id(trace_id)
+                try:
+                    response = self._dispatch(request, trace_id)
+                finally:
+                    reset_trace_id(token)
             except asyncio.TimeoutError:
-                response = _error_response(400, "request not received in time")
+                response = _error_response(
+                    400, "request not received in time", trace_id=trace_id
+                )
             except ProtocolError as error:
-                response = _error_response(error.status, error.message)
+                response = _error_response(error.status, error.message, trace_id=trace_id)
             except ServiceOverloadedError as error:
                 retry_after = error.retry_after if error.retry_after is not None else 1
                 response = _error_response(
@@ -165,13 +227,19 @@ class ReproService:
                     tenant=error.tenant,
                     retry_after=retry_after,
                     extra=(("Retry-After", str(int(retry_after))),),
+                    trace_id=trace_id,
                 )
             except ConfigurationError as error:
-                response = _error_response(400, str(error))
+                response = _error_response(400, str(error), trace_id=trace_id)
             except Exception as error:  # noqa: BLE001 -- never drop the connection
                 response = _error_response(
-                    500, f"{type(error).__name__}: {error}", code=ErrorCode.INTERNAL
+                    500,
+                    f"{type(error).__name__}: {error}",
+                    code=ErrorCode.INTERNAL,
+                    trace_id=trace_id,
                 )
+            response = _with_trace_header(response, trace_id)
+            self._observe(request, response, time.monotonic() - started, trace_id)
             writer.write(response)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
@@ -182,6 +250,31 @@ class ReproService:
                 await writer.wait_closed()
             except (ConnectionError, BrokenPipeError):
                 pass
+
+    def _observe(
+        self,
+        request: Optional[HTTPRequest],
+        response: bytes,
+        elapsed: float,
+        trace_id: str,
+    ) -> None:
+        """Account one finished exchange: counters, latency, access log."""
+        try:
+            status = int(response.split(b" ", 2)[1])
+        except (IndexError, ValueError):
+            status = 0
+        endpoint = _endpoint_label(request)
+        method = request.method if request is not None else "-"
+        self._http_requests.labels(endpoint, method, str(status)).inc()
+        self._http_latency.labels(endpoint).record(elapsed)
+        log.info(
+            "%s %s -> %d in %.4fs",
+            method,
+            request.path if request is not None else "<unparsed>",
+            status,
+            elapsed,
+            extra={"trace_id": trace_id, "endpoint": endpoint},
+        )
 
     # -- submission helpers --------------------------------------------
 
@@ -222,18 +315,33 @@ class ReproService:
                 401, f"tenant {tenant!r} requires a valid Authorization: Bearer token"
             )
 
-    def _dispatch(self, request: HTTPRequest) -> bytes:
+    def _dispatch(self, request: HTTPRequest, trace_id: str) -> bytes:
         path, method = request.path, request.method
         if path == "/v1/healthz":
             _require(method, "GET")
-            return json_response(200, wire_envelope("health", self.manager.health()))
+            return json_response(
+                200, wire_envelope("health", self.manager.health(), trace_id=trace_id)
+            )
         if path == "/v1/stats":
             _require(method, "GET")
-            return json_response(200, wire_envelope("stats", self.manager.stats_document()))
+            return json_response(
+                200,
+                wire_envelope("stats", self.manager.stats_document(), trace_id=trace_id),
+            )
+        if path == "/v1/metrics":
+            _require(method, "GET")
+            if request.query.get("format") == "json":
+                return json_response(
+                    200,
+                    wire_envelope(
+                        "metrics", self.metrics.as_document(), trace_id=trace_id
+                    ),
+                )
+            return text_response(200, self.metrics.render_text())
         if path == "/v1/jobs":
             _require(method, "POST")
             job_request, deprecated = self._submission_request(request)
-            state, coalesced = self.manager.submit(job_request)
+            state, coalesced = self.manager.submit(job_request, trace_id=trace_id)
             receipt = {
                 "job_id": state.job_id,
                 "request_key": state.key,
@@ -252,6 +360,7 @@ class ReproService:
                     tenant=state.tenant,
                     priority=state.lane,
                     schema_version=REQUEST_SCHEMA_VERSION,
+                    trace_id=trace_id,
                 ),
             )
         if path.startswith("/v1/jobs/"):
@@ -259,21 +368,31 @@ class ReproService:
             job_id = path[len("/v1/jobs/") :]
             state = self.manager.jobs.get(job_id)
             if state is None:
-                return _error_response(404, f"unknown job {job_id!r}")
+                return _error_response(404, f"unknown job {job_id!r}", trace_id=trace_id)
             include_result = request.query.get("result", "1") != "0"
             return json_response(
-                200, wire_envelope("job_status", state.view(include_result=include_result))
+                200,
+                wire_envelope(
+                    "job_status",
+                    state.view(include_result=include_result),
+                    trace_id=trace_id,
+                ),
             )
         if path.startswith("/v1/results/"):
             _require(method, "GET")
             key = path[len("/v1/results/") :]
             result = self.manager.result_for(key)
             if result is None:
-                return _error_response(404, f"no cached result for key {key!r}")
+                return _error_response(
+                    404, f"no cached result for key {key!r}", trace_id=trace_id
+                )
             return json_response(
-                200, wire_envelope("cached_result", {"key": key, "result": result})
+                200,
+                wire_envelope(
+                    "cached_result", {"key": key, "result": result}, trace_id=trace_id
+                ),
             )
-        return _error_response(404, f"unknown endpoint {method} {path}")
+        return _error_response(404, f"unknown endpoint {method} {path}", trace_id=trace_id)
 
 
 def _merge_field(name: str, envelope_value: Any, payload_value: Any) -> Any:
@@ -294,6 +413,31 @@ def _require(method: str, expected: str) -> None:
         raise ProtocolError(405, f"method {method} not allowed (use {expected})")
 
 
+def _with_trace_header(response: bytes, trace_id: str) -> bytes:
+    """Insert ``X-Repro-Trace-Id`` right after the status line.
+
+    Central injection means every response -- success, error envelope, even
+    a 500 from an unexpected exception -- carries the request's trace ID.
+    """
+    head, separator, rest = response.partition(b"\r\n")
+    header = f"{TRACE_ID_HEADER}: {trace_id}\r\n".encode("latin-1")
+    return head + separator + header + rest
+
+
+def _endpoint_label(request: Optional[HTTPRequest]) -> str:
+    """A bounded-cardinality endpoint label for the request metrics."""
+    if request is None:
+        return "unparsed"
+    path = request.path
+    if path in ("/v1/healthz", "/v1/stats", "/v1/metrics", "/v1/jobs"):
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    if path.startswith("/v1/results/"):
+        return "/v1/results/{key}"
+    return "other"
+
+
 def _error_response(
     status: int,
     message: str,
@@ -301,6 +445,7 @@ def _error_response(
     tenant: Optional[str] = None,
     retry_after: Optional[float] = None,
     extra=(),
+    trace_id: Optional[str] = None,
 ) -> bytes:
     """An ``error`` envelope with the structured taxonomy fields."""
     if code is None:
@@ -310,7 +455,9 @@ def _error_response(
         payload["tenant"] = tenant
     if retry_after is not None:
         payload["retry_after"] = retry_after
-    return json_response(status, wire_envelope("error", payload), extra)
+    return json_response(
+        status, wire_envelope("error", payload, trace_id=trace_id), extra
+    )
 
 
 async def run_service(config: ServiceConfig) -> None:
@@ -323,12 +470,17 @@ async def run_service(config: ServiceConfig) -> None:
     tenants = (
         ",".join(spec.name for spec in tenancy.tenants) if tenancy.tenants else "open"
     )
-    print(
-        f"[repro] serving on http://{host}:{port} "
-        f"(workers={config.workers}, sim-jobs={config.sim_jobs}, "
-        f"queue-limit={config.queue_limit}, cache={cache}, tenants={tenants}, "
-        f"wire-schema={WIRE_SCHEMA_VERSION})",
-        flush=True,
+    log.info(
+        "serving on http://%s:%d (workers=%d, sim-jobs=%d, queue-limit=%d, "
+        "cache=%s, tenants=%s, wire-schema=%d)",
+        host,
+        port,
+        config.workers,
+        config.sim_jobs,
+        config.queue_limit,
+        cache,
+        tenants,
+        WIRE_SCHEMA_VERSION,
     )
     try:
         await service.serve_forever()
@@ -343,4 +495,4 @@ def serve(config: ServiceConfig) -> None:
     try:
         asyncio.run(run_service(config))
     except KeyboardInterrupt:
-        print("[repro] server stopped")
+        log.info("server stopped")

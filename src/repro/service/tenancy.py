@@ -27,8 +27,12 @@ tested in isolation:
 * **Usage and latency accounting** -- :class:`TenantAccounting`: per-tenant
   admission/rejection/completion counters, simulations executed vs cache
   hits, and bounded reservoirs of queue-wait and service-time samples with
-  p50/p95/p99 summaries.  ``GET /v1/stats`` is a straight serialisation of
-  these records.
+  p50/p95/p99 summaries.  The records live in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (one counter/summary family
+  per concern, labelled by tenant), so the same numbers serve both
+  ``GET /v1/stats`` (via :meth:`TenantAccounting.as_document`) and the
+  Prometheus exposition at ``GET /v1/metrics`` -- there is exactly one
+  counter system, not two.
 
 All scheduler state is touched only from the server's event-loop thread
 (submission and worker dispatch both happen there), so there is no locking.
@@ -38,12 +42,13 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Deque, Dict, Iterable, Mapping, Optional, Tuple, TypeVar
 
 from repro.common.errors import ConfigurationError
 from repro.exp.request import PRIORITY_LANES, validate_tenant_name
+from repro.obs.metrics import MetricsRegistry, Reservoir
 
 _T = TypeVar("_T")
 
@@ -187,69 +192,131 @@ class TenancyConfig:
         return TenantSpec(name=name)
 
 
-class LatencyWindow:
-    """A bounded reservoir of latency samples with percentile summaries."""
+#: The historical name for the bounded latency reservoir, kept as an alias:
+#: the class moved to the observability layer so summaries and the tenancy
+#: stats share one implementation.
+LatencyWindow = Reservoir
 
-    __slots__ = ("_samples", "count", "total")
-
-    def __init__(self, limit: int = LATENCY_WINDOW) -> None:
-        self._samples: Deque[float] = deque(maxlen=limit)
-        self.count = 0
-        self.total = 0.0
-
-    def record(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self.count += 1
-        self.total += seconds
-
-    def percentile(self, quantile: float) -> float:
-        """Nearest-rank percentile over the retained window (0.0 if empty)."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, -(-int(quantile * 100) * len(ordered) // 100))  # ceil
-        return ordered[min(rank, len(ordered)) - 1]
-
-    def snapshot(self) -> Dict[str, float]:
-        """The wire form: lifetime count/mean plus windowed percentiles."""
-        return {
-            "count": self.count,
-            "mean": (self.total / self.count) if self.count else 0.0,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "max": max(self._samples) if self._samples else 0.0,
-        }
+#: The per-tenant job lifecycle events :meth:`TenantAccounting.inc` accepts.
+JOB_EVENTS = (
+    "admitted",
+    "coalesced",
+    "rejected_quota",
+    "rejected_capacity",
+    "dispatched",
+    "completed",
+    "failed",
+)
 
 
-@dataclass
 class TenantAccounting:
-    """Per-tenant usage counters and latency reservoirs."""
+    """Per-tenant usage counters and latency reservoirs, registry-backed.
 
-    admitted: int = 0
-    coalesced: int = 0
-    rejected_quota: int = 0
-    rejected_capacity: int = 0
-    dispatched: int = 0
-    completed: int = 0
-    failed: int = 0
-    sims_executed: int = 0
-    cache_hits: int = 0
-    service_seconds: float = 0.0
-    queue_wait: LatencyWindow = field(default_factory=LatencyWindow)
-    service_time: LatencyWindow = field(default_factory=LatencyWindow)
+    Each instance is a tenant-labelled view over four metric families in a
+    :class:`~repro.obs.metrics.MetricsRegistry`:
+
+    * ``repro_tenant_jobs_total{tenant,event}`` -- job lifecycle counters,
+    * ``repro_tenant_simulations_total{tenant,kind}`` -- executed vs
+      cache-hit simulations,
+    * ``repro_tenant_queue_wait_seconds{tenant}`` and
+      ``repro_tenant_service_seconds{tenant}`` -- latency summaries.
+
+    The historical counter attributes (``admitted``, ``dispatched``, ...)
+    remain readable as properties and :meth:`as_document` preserves the
+    ``GET /v1/stats`` wire form exactly; writes go through :meth:`inc` /
+    :meth:`add_sims` / ``queue_wait.record`` so the Prometheus exposition
+    and the stats document can never disagree.
+    """
+
+    __slots__ = ("tenant", "_jobs", "_sims", "queue_wait", "service_time")
+
+    def __init__(self, tenant: str = DEFAULT_TENANT, metrics: Optional[MetricsRegistry] = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.tenant = tenant
+        jobs = registry.counter(
+            "repro_tenant_jobs_total",
+            "Per-tenant job lifecycle events",
+            ("tenant", "event"),
+        )
+        self._jobs = {event: jobs.labels(tenant=tenant, event=event) for event in JOB_EVENTS}
+        sims = registry.counter(
+            "repro_tenant_simulations_total",
+            "Per-tenant simulations by outcome (executed vs cache hit)",
+            ("tenant", "kind"),
+        )
+        self._sims = {
+            kind: sims.labels(tenant=tenant, kind=kind) for kind in ("executed", "cache_hit")
+        }
+        self.queue_wait: Reservoir = registry.summary(
+            "repro_tenant_queue_wait_seconds",
+            "Seconds jobs waited in the tenant's queue before dispatch",
+            ("tenant",),
+            limit=LATENCY_WINDOW,
+        ).labels(tenant=tenant)
+        self.service_time: Reservoir = registry.summary(
+            "repro_tenant_service_seconds",
+            "Seconds jobs spent executing for this tenant",
+            ("tenant",),
+            limit=LATENCY_WINDOW,
+        ).labels(tenant=tenant)
+
+    def inc(self, event: str, amount: int = 1) -> None:
+        """Count one job lifecycle event (a :data:`JOB_EVENTS` member)."""
+        self._jobs[event].inc(amount)
+
+    def add_sims(self, executed: int, cache_hits: int) -> None:
+        """Charge a finished job's simulation counts to the tenant."""
+        if executed:
+            self._sims["executed"].inc(executed)
+        if cache_hits:
+            self._sims["cache_hit"].inc(cache_hits)
+
+    def _event(self, event: str) -> int:
+        return int(self._jobs[event].value)
+
+    @property
+    def admitted(self) -> int:
+        return self._event("admitted")
+
+    @property
+    def coalesced(self) -> int:
+        return self._event("coalesced")
+
+    @property
+    def rejected_quota(self) -> int:
+        return self._event("rejected_quota")
+
+    @property
+    def rejected_capacity(self) -> int:
+        return self._event("rejected_capacity")
+
+    @property
+    def dispatched(self) -> int:
+        return self._event("dispatched")
+
+    @property
+    def completed(self) -> int:
+        return self._event("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._event("failed")
+
+    @property
+    def sims_executed(self) -> int:
+        return int(self._sims["executed"].value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._sims["cache_hit"].value)
+
+    @property
+    def service_seconds(self) -> float:
+        return self.service_time.total
 
     def as_document(self) -> Dict[str, Any]:
         return {
-            "jobs": {
-                "admitted": self.admitted,
-                "coalesced": self.coalesced,
-                "rejected_quota": self.rejected_quota,
-                "rejected_capacity": self.rejected_capacity,
-                "dispatched": self.dispatched,
-                "completed": self.completed,
-                "failed": self.failed,
-            },
+            "jobs": {event: self._event(event) for event in JOB_EVENTS},
             "sims": {"executed": self.sims_executed, "cache_hits": self.cache_hits},
             "queue_wait_seconds": self.queue_wait.snapshot(),
             "service_seconds": self.service_time.snapshot(),
@@ -261,12 +328,12 @@ class _TenantRuntime:
 
     __slots__ = ("spec", "lanes", "inflight", "pass_value", "accounting")
 
-    def __init__(self, spec: TenantSpec) -> None:
+    def __init__(self, spec: TenantSpec, metrics: Optional[MetricsRegistry] = None) -> None:
         self.spec = spec
         self.lanes: Dict[str, Deque[Any]] = {lane: deque() for lane in PRIORITY_LANES}
         self.inflight = 0
         self.pass_value = 0.0
-        self.accounting = TenantAccounting()
+        self.accounting = TenantAccounting(spec.name, metrics)
 
     @property
     def stride(self) -> float:
@@ -294,8 +361,14 @@ class TenantScheduler:
     each execution.
     """
 
-    def __init__(self, tenancy: TenancyConfig) -> None:
+    def __init__(
+        self, tenancy: TenancyConfig, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.tenancy = tenancy
+        #: The registry every tenant's accounting reports into (a private
+        #: one when the caller brings none, so standalone schedulers in
+        #: tests never share counters).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tenants: Dict[str, _TenantRuntime] = {}
         #: Virtual time: the pass value of the most recent dispatch.  A
         #: tenant waking from idle starts here, not at its stale pass.
@@ -303,7 +376,7 @@ class TenantScheduler:
         # Materialise configured tenants eagerly so /v1/stats lists them
         # (with zeroed counters) before their first submission.
         for spec in tenancy.tenants:
-            self._tenants[spec.name] = _TenantRuntime(spec)
+            self._tenants[spec.name] = _TenantRuntime(spec, self.metrics)
 
     # -- tenant access -------------------------------------------------
 
@@ -311,7 +384,7 @@ class TenantScheduler:
         """The live state for ``name``, created on first contact."""
         runtime = self._tenants.get(name)
         if runtime is None:
-            runtime = _TenantRuntime(self.tenancy.spec_for(name))
+            runtime = _TenantRuntime(self.tenancy.spec_for(name), self.metrics)
             self._tenants[name] = runtime
         return runtime
 
@@ -365,7 +438,7 @@ class TenantScheduler:
                 self._virtual = max(self._virtual, best.pass_value)
                 best.pass_value += best.stride
                 best.inflight += 1
-                best.accounting.dispatched += 1
+                best.accounting.inc("dispatched")
                 return best.spec.name, item
         return None
 

@@ -257,3 +257,33 @@ def test_bench_writes_timing_artifact(tmp_path: Path) -> None:
     assert figure["serial_seconds"] > 0
     assert figure["parallel_seconds"] > 0
     assert artifact["parallel_jobs"] == 2
+
+
+def test_profile_writes_chrome_trace(tmp_path: Path) -> None:
+    output = tmp_path / "trace.json"
+    result = run_cli(
+        [
+            "profile",
+            "sec52",
+            "--trace-out",
+            str(output),
+            "--jobs",
+            "1",
+            "--instructions",
+            "800",
+        ],
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "wrote" in result.stdout
+    document = json.loads(output.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["figure"] == "sec52"
+    events = document["traceEvents"]
+    phs = {event["ph"] for event in events}
+    assert phs == {"X", "M"}
+    complete = [event for event in events if event["ph"] == "X"]
+    assert any(event["name"] == "profile:sec52" for event in complete)
+    assert any(event.get("cat") == "phase" for event in complete)
+    for event in complete:
+        assert {"ts", "dur", "pid", "tid", "name"} <= set(event)
