@@ -92,6 +92,16 @@ class ServiceError(ReproError, RuntimeError):
     """The simulation service rejected or failed a request."""
 
 
+class JobNotFoundError(ServiceError):
+    """A job id the server no longer (or never) knew about (HTTP 404).
+
+    Distinct from plain :class:`ServiceError` so pollers can tell "the job
+    was trimmed from the bounded history" apart from transport failures and
+    fall back to the result cache (:meth:`ServiceClient.wait` does exactly
+    this with the receipt's request key).
+    """
+
+
 class ServiceOverloadedError(ServiceError):
     """Admission control rejected a submission (queue or tenant quota full).
 

@@ -629,8 +629,15 @@ def run_profile_command(args: argparse.Namespace) -> int:
 
 
 def run_serve_command(args: argparse.Namespace) -> int:
-    """Implement ``repro serve``: run the simulation service until Ctrl-C."""
+    """Implement ``repro serve``: run the simulation service until Ctrl-C.
+
+    ``--shards N`` (N > 1) runs N full server processes over the shared
+    result cache instead of one: each shard owns port ``base+1+index`` and
+    the group shares the public ``--port`` via SO_REUSEPORT where the
+    platform has it (see :mod:`repro.service.shards`).
+    """
     from repro.service.server import ServiceConfig, serve
+    from repro.service.shards import serve_sharded
     from repro.service.tenancy import TenancyConfig
 
     configure_logging(args.log_level, json_format=args.log_json)
@@ -643,8 +650,79 @@ def run_serve_command(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         cache_dir=None if args.no_cache else args.cache_dir,
         tenancy=tenancy,
+        shard_count=max(1, args.shards),
     )
-    serve(config)
+    if config.shard_count > 1:
+        serve_sharded(config, log_level=args.log_level, log_json=args.log_json)
+    else:
+        serve(config)
+    return 0
+
+
+def run_loadbench_command(args: argparse.Namespace) -> int:
+    """Implement ``repro loadbench``: ramp load against the service.
+
+    Self-serves a (sharded) server unless ``--server`` points at one,
+    drives the configured ramp, writes the JSON artifact, and -- with
+    ``--gate`` -- fails when throughput, submit p99 or tenant shares miss
+    the thresholds.
+    """
+    from repro.load.bench import (
+        LoadBenchConfig,
+        evaluate_loadbench_gate,
+        run_loadbench,
+    )
+
+    tenant_mix: tuple = ()
+    if args.tenant_mix:
+        pairs = []
+        for item in args.tenant_mix.split(","):
+            name, separator, weight = item.partition("=")
+            if not separator:
+                print(
+                    f"[repro] bad --tenant-mix entry {item!r} (want name=weight)",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((name.strip(), float(weight)))
+        tenant_mix = tuple(pairs)
+    try:
+        config = LoadBenchConfig(
+            server=args.server,
+            shards=args.shards,
+            serve_workers=args.serve_workers,
+            queue_limit=args.queue_limit,
+            clients=tuple(int(stage) for stage in args.clients.split(",")),
+            mode=args.mode,
+            rate=args.rate,
+            epoch_seconds=args.epoch_seconds,
+            epochs=args.epochs,
+            warmup_epochs=args.warmup_epochs,
+            instructions=args.instructions,
+            tenant_mix=tenant_mix,
+            timeout=args.timeout,
+            seed=args.seed,
+        )
+    except (ValueError, ReproError) as error:
+        print(f"[repro] bad loadbench configuration: {error}", file=sys.stderr)
+        return 2
+    log = (lambda message: None) if args.quiet else print
+    artifact = run_loadbench(config, log=log)
+    Path(args.out).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(f"[repro] wrote {args.out}")
+    if args.gate:
+        ok, lines = evaluate_loadbench_gate(
+            artifact,
+            min_throughput=args.min_throughput,
+            max_p99_ms=args.max_p99,
+            share_tolerance=args.share_tolerance,
+        )
+        for line in lines:
+            print(f"[repro] {line}")
+        if not ok:
+            print("[repro] loadbench gate FAILED", file=sys.stderr)
+            return 1
+        print("[repro] loadbench gate passed")
     return 0
 
 
@@ -725,7 +803,9 @@ def run_submit_command(args: argparse.Namespace) -> int:
             if not args.quiet:
                 print(f"[repro] wrote {args.json}")
         return 0
-    view = client.wait(receipt.job_id, timeout=args.timeout)
+    view = client.wait(
+        receipt.job_id, timeout=args.timeout, request_key=receipt.request_key
+    )
     progress = view.get("progress", {})
     elapsed = view.get("elapsed_seconds") or 0.0
     if not args.quiet:
@@ -949,7 +1029,128 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON object per log line (with trace IDs) instead of text",
     )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="server processes to run over the shared cache (default: 1); "
+        "shard i serves port+1+i, the public port is shared via SO_REUSEPORT "
+        "where available",
+    )
     sub.set_defaults(handler=run_serve_command)
+
+    sub = subparsers.add_parser(
+        "loadbench",
+        help="ramp synthetic load against the service and write a JSON artifact",
+    )
+    sub.add_argument(
+        "--server",
+        default=None,
+        help="existing server base URL; omitted = self-serve a fresh instance",
+    )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shards for the self-served instance (default: 2)",
+    )
+    sub.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="worker tasks per self-served shard (default: 2)",
+    )
+    sub.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="queue limit per self-served shard (default: 64)",
+    )
+    sub.add_argument(
+        "--clients",
+        default="2,4",
+        help="comma-separated ramp stages, clients per stage (default: 2,4)",
+    )
+    sub.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="arrival discipline (default: open; see docs/USAGE.md)",
+    )
+    sub.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        help="open-loop arrivals per second per client (default: 4)",
+    )
+    sub.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=2.0,
+        help="measurement epoch length (default: 2)",
+    )
+    sub.add_argument(
+        "--epochs", type=int, default=4, help="epochs per stage (default: 4)"
+    )
+    sub.add_argument(
+        "--warmup-epochs",
+        type=int,
+        default=1,
+        help="leading epochs excluded from the aggregate (default: 1)",
+    )
+    sub.add_argument(
+        "--instructions",
+        type=int,
+        default=1500,
+        help="trace length per submitted simulation (default: 1500)",
+    )
+    sub.add_argument(
+        "--tenant-mix",
+        default=None,
+        metavar="NAME=W,NAME=W",
+        help="weighted-fairness mode: offer equal traffic per named tenant "
+        "while the (self-served) roster carries these weights, then check "
+        "the served shares track the weights",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request client timeout in seconds (default: 30)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=42, help="workload stream seed (default: 42)"
+    )
+    sub.add_argument(
+        "--out",
+        default="LOADBENCH.json",
+        help="artifact path (default: LOADBENCH.json)",
+    )
+    sub.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail the run when the thresholds below are missed",
+    )
+    sub.add_argument(
+        "--min-throughput",
+        type=float,
+        default=0.0,
+        help="gate: required peak measured throughput in req/s (0 = off)",
+    )
+    sub.add_argument(
+        "--max-p99",
+        type=float,
+        default=0.0,
+        help="gate: allowed submit p99 latency in ms, every stage (0 = off)",
+    )
+    sub.add_argument(
+        "--share-tolerance",
+        type=float,
+        default=0.0,
+        help="gate: allowed |observed - expected| tenant share (0 = off)",
+    )
+    sub.add_argument("--quiet", action="store_true", help="suppress progress output")
+    sub.set_defaults(handler=run_loadbench_command)
 
     sub = subparsers.add_parser(
         "profile",

@@ -1,0 +1,31 @@
+"""Load generation against the simulation service (``repro loadbench``).
+
+The package follows the classic driver split (after the hopperkv harness):
+
+* :mod:`repro.load.workload` -- *what* to send: :class:`Req` (one request),
+  :class:`ReqGenEngine` (a deterministic request stream) and
+  :class:`Workload` (the named mix the engine draws from);
+* :mod:`repro.load.driver` -- *how* to send it: the open-/closed-loop
+  request loop and the multi-process client fleet;
+* :mod:`repro.load.epoch` -- *how to measure*: epoch-based accounting with
+  warmup discard, per-endpoint throughput and p50/p95/p99 latency;
+* :mod:`repro.load.bench` -- the ``repro loadbench`` orchestration: ramp
+  stages, the self-served (optionally sharded) server under test, the
+  committed JSON artifact and its ``--gate`` checks.
+"""
+
+from repro.load.driver import DriverConfig, run_load, run_request_loop
+from repro.load.epoch import EpochSeries, Sample, quantile
+from repro.load.workload import Req, ReqGenEngine, Workload
+
+__all__ = [
+    "DriverConfig",
+    "EpochSeries",
+    "Req",
+    "ReqGenEngine",
+    "Sample",
+    "Workload",
+    "quantile",
+    "run_load",
+    "run_request_loop",
+]

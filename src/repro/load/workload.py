@@ -1,0 +1,128 @@
+"""What the load driver sends: requests, their generator, and named mixes.
+
+The split mirrors the hopperkv harness: a :class:`Req` is one fully
+resolved request, a :class:`ReqGenEngine` turns ``(client, index)`` into a
+:class:`Req` deterministically, and a :class:`Workload` is the named recipe
+(operation mix, tenant mix, job size, seed) the engine draws from.
+
+Determinism is the point: request ``i`` of client ``c`` is a pure function
+of the workload seed, so two runs of the same configuration offer the same
+request stream -- and every submission gets a *distinct* simulation seed,
+so the server does real work instead of coalescing the whole fleet into
+one job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: The request kinds the driver knows how to issue.  ``submit`` is the
+#: end-to-end unit (POST /v1/jobs + poll to completion); ``health`` and
+#: ``stats`` are the cheap read endpoints that keep running under backlog.
+REQUEST_KINDS = ("submit", "health", "stats")
+
+#: The default operation mix: submission-heavy with a trickle of reads.
+DEFAULT_MIX = (("submit", 0.8), ("health", 0.1), ("stats", 0.1))
+
+
+@dataclass(frozen=True)
+class Req:
+    """One fully resolved request: what to send and under which identity."""
+
+    #: Position in this client's request stream (0-based).
+    index: int
+    #: One of :data:`REQUEST_KINDS`.
+    kind: str
+    #: Tenant the request is charged to (``None`` = the server's default).
+    tenant: Optional[str]
+    #: Simulation seed for ``submit`` requests (distinct per request, so
+    #: submissions have distinct content addresses and cannot coalesce).
+    seed: int
+    #: Trace length for ``submit`` requests.
+    instructions: int
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named request mix the generator engine draws from.
+
+    ``mix`` weights the request kinds; ``tenants`` (optional) weights the
+    tenant identities -- the tenant-mix mode of ``repro loadbench`` uses it
+    to offer proportional traffic and then checks the *served* shares
+    against the scheduler's configured weights.
+    """
+
+    name: str = "default"
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    tenants: Tuple[Tuple[str, float], ...] = ()
+    instructions: int = 1500
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ConfigurationError("a workload needs a non-empty request mix")
+        for kind, weight in self.mix:
+            if kind not in REQUEST_KINDS:
+                raise ConfigurationError(
+                    f"unknown request kind {kind!r} (choose from {REQUEST_KINDS})"
+                )
+            if weight <= 0:
+                raise ConfigurationError(f"mix weight for {kind!r} must be > 0")
+        for tenant, weight in self.tenants:
+            if weight <= 0:
+                raise ConfigurationError(f"tenant weight for {tenant!r} must be > 0")
+        if self.instructions <= 0:
+            raise ConfigurationError("instructions per submission must be > 0")
+
+    def engine(self, client_index: int) -> "ReqGenEngine":
+        """The deterministic request stream for one client of the fleet."""
+        return ReqGenEngine(self, client_index)
+
+
+class ReqGenEngine:
+    """Generates one client's request stream, deterministically.
+
+    Request ``i`` is derived from ``random.Random("seed:client:i")``:
+    reproducible across runs and processes, with no shared state between
+    the fleet's clients.
+    """
+
+    def __init__(self, workload: Workload, client_index: int) -> None:
+        self.workload = workload
+        self.client_index = client_index
+
+    def request(self, index: int) -> Req:
+        rng = random.Random(
+            f"{self.workload.seed}:{self.client_index}:{index}"
+        )
+        kind = _weighted_choice(rng, self.workload.mix)
+        tenant = (
+            _weighted_choice(rng, self.workload.tenants)
+            if self.workload.tenants
+            else None
+        )
+        return Req(
+            index=index,
+            kind=kind,
+            tenant=tenant,
+            # Unique per (client, index): submissions never share a content
+            # address, so each one is real work for the server.
+            seed=rng.randrange(1, 2**31),
+            instructions=self.workload.instructions,
+        )
+
+
+def _weighted_choice(rng: random.Random, choices: Sequence[Tuple[str, float]]) -> str:
+    """Pick one name from ``(name, weight)`` pairs, weight-proportionally."""
+    total = sum(weight for _, weight in choices)
+    point = rng.random() * total
+    cumulative = 0.0
+    for name, weight in choices:
+        cumulative += weight
+        if point < cumulative:
+            return name
+    return choices[-1][0]

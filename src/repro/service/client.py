@@ -38,7 +38,12 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.common.errors import ErrorCode, ServiceError, ServiceOverloadedError
+from repro.common.errors import (
+    ErrorCode,
+    JobNotFoundError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.common.serialize import open_envelope, read_envelope, wire_envelope
 from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
 from repro.exp.runner import SimJob
@@ -290,32 +295,67 @@ class ServiceClient:
             trace_id=envelope.trace_id if envelope.trace_id is not None else trace_id,
         )
         if wait:
-            return self.wait(receipt.job_id, timeout=timeout)
+            return self.wait(
+                receipt.job_id, timeout=timeout, request_key=receipt.request_key
+            )
         return receipt
 
     def status(self, job_id: str, include_result: bool = True) -> Dict[str, Any]:
-        """``GET /v1/jobs/{id}``: the job's status document."""
+        """``GET /v1/jobs/{id}``: the job's status document.
+
+        Raises :class:`JobNotFoundError` (a :class:`ServiceError` subclass)
+        when the server no longer knows the id -- which, for a completed job,
+        can simply mean it aged out of the bounded history.
+        """
         suffix = "" if include_result else "?result=0"
         status, data = self._request("GET", f"/v1/jobs/{job_id}{suffix}")
         if status == 404:
-            raise ServiceError(f"unknown job {job_id!r}")
+            raise JobNotFoundError(f"unknown job {job_id!r}")
         if status != 200:
             raise ServiceError(f"status failed ({status}): {self._error_message(data)}")
         return open_envelope(data, "job_status")
 
     def wait(
-        self, job_id: str, timeout: float = 600.0, poll_interval: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+        *,
+        request_key: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Poll until the job completes; raises on failure or timeout.
 
         The poll interval doubles (capped at one second) so short jobs return
         promptly while long waits do not hammer the server -- every poll is a
         fresh connection on a ``Connection: close`` protocol.
+
+        ``request_key`` (the :attr:`SubmitReceipt.request_key` content
+        address) arms the trim-survival fallback: under backlog a job can
+        complete and age out of the server's bounded history *between two
+        polls*, so a 404 on the job id is retried as
+        ``GET /v1/results/{request_key}`` -- if the payload is there the job
+        succeeded, and a synthesized completed view is returned (marked
+        ``"trimmed": True``) instead of failing work that actually finished.
         """
         deadline = time.monotonic() + timeout
         interval = poll_interval
         while True:
-            view = self.status(job_id)
+            try:
+                view = self.status(job_id)
+            except JobNotFoundError:
+                if request_key is None:
+                    raise
+                payload = self.result(request_key)
+                if payload is None:
+                    raise
+                return {
+                    "job_id": job_id,
+                    "status": "completed",
+                    "request_key": request_key,
+                    "result": payload,
+                    "trimmed": True,
+                    "progress": {"executed_jobs": 0, "cache_hits": 0},
+                }
             if view["status"] == "completed":
                 return view
             if view["status"] == "failed":
@@ -358,4 +398,6 @@ class ServiceClient:
             priority=priority,
             tenant=tenant,
         )
-        return self.wait(receipt.job_id, timeout=timeout)
+        return self.wait(
+            receipt.job_id, timeout=timeout, request_key=receipt.request_key
+        )

@@ -44,6 +44,7 @@ import math
 import re
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -87,7 +88,12 @@ class JobState:
     job_id: str
     request: JobRequest
     key: str
+    #: Wall-clock submission time (the wire form clients see).
     submitted_at: float
+    #: Monotonic twin of ``submitted_at``: every *duration* (queue wait,
+    #: service time, elapsed) is computed from the monotonic clock so an NTP
+    #: step can never produce a negative or wildly wrong latency sample.
+    submitted_monotonic: float = 0.0
     #: Resolved tenant and scheduling lane (admission metadata; the first
     #: submitter's tenant owns a coalesced job).
     tenant: str = "default"
@@ -98,6 +104,8 @@ class JobState:
     status: JobStatus = JobStatus.QUEUED
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     result: Optional[Any] = None
     error: Optional[str] = None
     #: How many later identical submissions were folded into this job.
@@ -109,8 +117,8 @@ class JobState:
         """The job's wire status document (``GET /v1/jobs/{id}``)."""
         runner = self.runner
         elapsed = None
-        if self.started_at is not None:
-            elapsed = (self.finished_at or time.time()) - self.started_at
+        if self.started_monotonic is not None:
+            elapsed = (self.finished_monotonic or time.monotonic()) - self.started_monotonic
         document: Dict[str, Any] = {
             "job_id": self.job_id,
             "status": self.status.value,
@@ -152,12 +160,19 @@ class JobManager:
         history_limit: int = 256,
         tenancy: Optional[TenancyConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ) -> None:
         self.cache = cache
         self.workers = max(1, workers)
         self.sim_jobs = max(1, sim_jobs)
         self.queue_limit = max(1, queue_limit)
         self.history_limit = max(1, history_limit)
+        #: Which shard of a ``repro serve --shards N`` group this manager is.
+        #: Sharded job IDs carry the shard index (``job-s2-000017``) so any
+        #: shard can route a status poll to the shard that owns the job.
+        self.shard_index = shard_index
+        self.shard_count = max(1, shard_count)
         self.tenancy = tenancy if tenancy is not None else TenancyConfig.open()
         #: The registry this manager (and its scheduler/tenants) report
         #: into; a private one per manager by default, so embedded test
@@ -170,7 +185,15 @@ class JobManager:
         self._work_available = asyncio.Event()
         self._worker_tasks: List[asyncio.Task] = []
         self._counter = itertools.count(1)
+        #: Completed figure/batch payloads keyed by *request* key, so a
+        #: poller whose job was trimmed from the bounded history can still
+        #: fetch the result via ``GET /v1/results/{request key}``.  Bounded
+        #: like the job history (oldest completion evicted first).
+        self._finished_results: "OrderedDict[str, Any]" = OrderedDict()
+        #: Wall-clock start (wire form) and its monotonic twin (used for
+        #: every uptime/duration computation -- immune to NTP steps).
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self.stats: Dict[str, int] = {
             "submitted": 0,
             "coalesced": 0,
@@ -198,7 +221,7 @@ class JobManager:
         ).set_function(self.scheduler.inflight_total)
         self.metrics.gauge(
             "repro_uptime_seconds", "Seconds since this job manager started"
-        ).set_function(lambda: time.time() - self.started_at)
+        ).set_function(lambda: time.monotonic() - self._started_monotonic)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -279,10 +302,11 @@ class JobManager:
                 retry_after=self.retry_after_hint(self.scheduler.queued_total()),
             )
         state = JobState(
-            job_id=f"job-{next(self._counter):06d}",
+            job_id=self._next_job_id(),
             request=request,
             key=key,
             submitted_at=time.time(),
+            submitted_monotonic=time.monotonic(),
             tenant=tenant,
             lane=lane,
             trace_id=trace_id,
@@ -302,6 +326,17 @@ class JobManager:
         )
         return state, False
 
+    def _next_job_id(self) -> str:
+        """Mint the next job id; sharded managers tag it with their shard
+        index (``job-s1-000042``) so peers can route status polls here."""
+        if self.shard_count > 1:
+            return f"job-s{self.shard_index}-{next(self._counter):06d}"
+        return f"job-{next(self._counter):06d}"
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this manager started, from the monotonic clock."""
+        return time.monotonic() - self._started_monotonic
+
     def retry_after_hint(self, queued_ahead: int) -> int:
         """Seconds a rejected caller should back off: the observed mean
         service time scaled by the backlog per worker, clamped to [1, 60]."""
@@ -312,14 +347,27 @@ class JobManager:
         return int(min(60, max(1, estimate)))
 
     def _trim_history(self) -> None:
-        """Drop the oldest finished jobs beyond the history limit."""
+        """Drop the oldest finished jobs beyond the history limit.
+
+        Only *finished* jobs count against the limit: under a backlog the
+        store legitimately holds many queued/running entries, and counting
+        them (the pre-PR8 bug) evicted recently finished jobs long before
+        ``history_limit`` finished ones existed -- pollers then saw
+        "unknown job" for work that had succeeded.  Eviction order is
+        completion time, not dict insertion order: a job submitted early but
+        finished late is *newer* history than a quick job submitted after it.
+        """
         finished = [
-            job_id
-            for job_id, state in self.jobs.items()
+            state
+            for state in self.jobs.values()
             if state.status in (JobStatus.COMPLETED, JobStatus.FAILED)
         ]
-        for job_id in finished[: max(0, len(self.jobs) - self.history_limit)]:
-            del self.jobs[job_id]
+        excess = len(finished) - self.history_limit
+        if excess <= 0:
+            return
+        finished.sort(key=lambda state: state.finished_monotonic or 0.0)
+        for state in finished[:excess]:
+            del self.jobs[state.job_id]
 
     # -- execution -----------------------------------------------------
 
@@ -378,7 +426,10 @@ class JobManager:
             accounting = self.scheduler.accounting(state.tenant)
             state.status = JobStatus.RUNNING
             state.started_at = time.time()
-            accounting.queue_wait.record(state.started_at - state.submitted_at)
+            state.started_monotonic = time.monotonic()
+            accounting.queue_wait.record(
+                state.started_monotonic - state.submitted_monotonic
+            )
             try:
                 state.result = await self._run_on_daemon_thread(state)
                 state.status = JobStatus.COMPLETED
@@ -401,10 +452,13 @@ class JobManager:
                 )
             finally:
                 state.finished_at = time.time()
-                service_seconds = state.finished_at - state.started_at
+                state.finished_monotonic = time.monotonic()
+                service_seconds = state.finished_monotonic - state.started_monotonic
                 accounting.service_time.record(service_seconds)
                 self._service_time_sum += service_seconds
                 self._service_time_count += 1
+                if state.status is JobStatus.COMPLETED:
+                    self._remember_result(state)
                 span_args = {
                     "job_id": state.job_id,
                     "tenant": state.tenant,
@@ -413,7 +467,7 @@ class JobManager:
                 spans.record(
                     "job.queue_wait",
                     state.submitted_at,
-                    state.started_at - state.submitted_at,
+                    state.started_monotonic - state.submitted_monotonic,
                     category="service",
                     args=span_args,
                 )
@@ -479,14 +533,36 @@ class JobManager:
 
     # -- lookups -------------------------------------------------------
 
-    def result_for(self, key: str) -> Optional[Dict[str, Any]]:
-        """Look one simulation up in the shared cache by its content address.
+    def _remember_result(self, state: JobState) -> None:
+        """Retain a completed payload under its *request* key.
 
-        Only well-formed content addresses (64 hex digits) reach the cache:
+        This is the trim-survival contract: a client whose finished job fell
+        out of the bounded history can still resolve the result through
+        ``GET /v1/results/{request key}`` (the receipt carries the key), so a
+        job that actually succeeded is never reported as unknown work.
+        """
+        self._finished_results[state.key] = state.result
+        self._finished_results.move_to_end(state.key)
+        while len(self._finished_results) > self.history_limit:
+            self._finished_results.popitem(last=False)
+
+    def result_for(self, key: str) -> Optional[Any]:
+        """Resolve a content address: a finished request's payload, or one
+        simulation from the shared cache.
+
+        Only well-formed content addresses (64 hex digits) are looked up:
         the key comes straight from the request URL, and anything else could
         traverse outside the cache root via ``ResultCache.path_for``.
+        Request keys (completed figure/batch payloads retained past history
+        trimming) are checked before per-simulation cache keys; the two hash
+        different inputs, so one key never means both.
         """
-        if self.cache is None or not re.fullmatch(r"[0-9a-f]{64}", key):
+        if not re.fullmatch(r"[0-9a-f]{64}", key):
+            return None
+        held = self._finished_results.get(key)
+        if held is not None:
+            return held
+        if self.cache is None:
             return None
         cached = self.cache.get(key)
         return None if cached is None else cached.to_dict()
@@ -510,7 +586,8 @@ class JobManager:
         return {
             "status": "ok",
             "version": __version__,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds(),
+            "started_at": self.started_at,
             "workers": self.workers,
             "sim_jobs": self.sim_jobs,
             "queue_depth": self.scheduler.queued_total(),
@@ -531,7 +608,7 @@ class JobManager:
         """
         return {
             "schema_version": STATS_SCHEMA_VERSION,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds(),
             "queue": {
                 "depth": self.scheduler.queued_total(),
                 "limit": self.queue_limit,

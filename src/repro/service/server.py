@@ -35,18 +35,28 @@ token only accepts submissions carrying ``Authorization: Bearer <token>``.
 Every error body carries a structured ``code`` from
 :class:`repro.common.errors.ErrorCode`.
 
+**Sharding.** ``repro serve --shards N`` runs N of these servers as
+separate processes over one shared result cache (see
+:mod:`repro.service.shards` for the port layout and supervisor).  A sharded
+server answers ``/v1/stats`` and ``/v1/metrics`` with the *merged*
+cross-shard view (``?scope=local`` asks for this shard alone), proxies
+status polls for jobs its peers own (sharded job IDs embed the owner's
+index), and falls back to its peers for ``/v1/results/{key}`` misses.
+
 Run it with ``python -m repro serve`` (``--tenants tenants.json`` for the
-roster) or embed :class:`ReproService` (used by the test suite, which starts
-it on an ephemeral port).
+roster, ``--shards N`` for scale-out) or embed :class:`ReproService` (used
+by the test suite, which starts it on an ephemeral port).
 """
 
 from __future__ import annotations
 
 import asyncio
 import hmac
+import re
+import socket
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import (
     ConfigurationError,
@@ -72,9 +82,25 @@ from repro.service.http import (
     text_response,
 )
 from repro.service.jobs import JobManager
+from repro.service.shards import (
+    fetch_json,
+    merge_metrics_documents,
+    merge_stats_documents,
+    peer_host,
+    render_metrics_text,
+    shard_port,
+)
 from repro.service.tenancy import TenancyConfig
 
 log = get_logger("service.server")
+
+#: Whether this platform can bind the shared public port from every shard
+#: (the kernel then load-balances accepted connections across them).
+REUSE_PORT_AVAILABLE = hasattr(socket, "SO_REUSEPORT")
+
+#: Sharded job IDs: ``job-s<shard>-<counter>`` (minted by JobManager when
+#: shard_count > 1); the embedded shard index routes status-poll proxying.
+_SHARDED_JOB_ID = re.compile(r"^job-s(\d+)-\d+$")
 
 #: Default TCP port (``repro`` on a phone keypad would not fit; 8077 does).
 #: Mirrored by the CLI's ``DEFAULT_SERVICE_PORT`` (kept lazy-import-free
@@ -121,6 +147,13 @@ class ServiceConfig:
     #: Tenant roster, quotas and weights; ``None`` runs the open
     #: single-tenant-compatible policy.
     tenancy: Optional[TenancyConfig] = None
+    #: This process's place in a ``repro serve --shards N`` group.  A lone
+    #: server keeps the defaults (one shard, index 0).  Sharded processes
+    #: each bind their well-known peer port (``port + 1 + shard_index``)
+    #: plus the shared public ``port`` via SO_REUSEPORT where available
+    #: (shard 0 alone otherwise); see :mod:`repro.service.shards`.
+    shard_index: int = 0
+    shard_count: int = 1
 
 
 class ReproService:
@@ -144,6 +177,8 @@ class ReproService:
             history_limit=config.history_limit,
             tenancy=config.tenancy,
             metrics=self.metrics,
+            shard_index=config.shard_index,
+            shard_count=config.shard_count,
         )
         from repro._version import __version__
 
@@ -162,32 +197,66 @@ class ReproService:
             "Wall-clock time spent handling each request",
             labelnames=("endpoint",),
         )
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._servers: List[asyncio.AbstractServer] = []
 
     @property
     def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)`` (resolves port 0 to the real one)."""
-        if self._server is None or not self._server.sockets:
+        """The bound ``(host, port)`` of the canonical listener (resolves
+        port 0 to the real one; a shard's canonical port is its peer port)."""
+        if not self._servers or not self._servers[0].sockets:
             return (self.config.host, self.config.port)
-        host, port = self._server.sockets[0].getsockname()[:2]
+        host, port = self._servers[0].sockets[0].getsockname()[:2]
         return (host, port)
 
     async def start(self) -> None:
         await self.manager.start()
-        self._server = await asyncio.start_server(
-            self._handle_client, host=self.config.host, port=self.config.port
-        )
+        config = self.config
+        if config.shard_count <= 1:
+            self._servers = [
+                await asyncio.start_server(
+                    self._handle_client, host=config.host, port=config.port
+                )
+            ]
+            return
+        # Sharded: the well-known peer port first (it is this shard's
+        # canonical address), then the shared public port -- every shard
+        # when SO_REUSEPORT lets the kernel spread accepts, else shard 0
+        # alone and clients fall back to round-robining the peer ports.
+        listeners = [
+            await asyncio.start_server(
+                self._handle_client,
+                host=config.host,
+                port=shard_port(config.port, config.shard_index),
+            )
+        ]
+        if REUSE_PORT_AVAILABLE:
+            listeners.append(
+                await asyncio.start_server(
+                    self._handle_client,
+                    host=config.host,
+                    port=config.port,
+                    reuse_port=True,
+                )
+            )
+        elif config.shard_index == 0:
+            listeners.append(
+                await asyncio.start_server(
+                    self._handle_client, host=config.host, port=config.port
+                )
+            )
+        self._servers = listeners
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers = []
         await self.manager.stop()
 
     async def serve_forever(self) -> None:
-        assert self._server is not None, "start() must run before serve_forever()"
-        await self._server.serve_forever()
+        assert self._servers, "start() must run before serve_forever()"
+        await asyncio.gather(*(server.serve_forever() for server in self._servers))
 
     # -- connection handling -------------------------------------------
 
@@ -209,7 +278,7 @@ class ReproService:
                 trace_id = ensure_trace_id(request.headers.get("x-repro-trace-id"))
                 token = set_trace_id(trace_id)
                 try:
-                    response = self._dispatch(request, trace_id)
+                    response = await self._dispatch(request, trace_id)
                 finally:
                     reset_trace_id(token)
             except asyncio.TimeoutError:
@@ -315,28 +384,46 @@ class ReproService:
                 401, f"tenant {tenant!r} requires a valid Authorization: Bearer token"
             )
 
-    def _dispatch(self, request: HTTPRequest, trace_id: str) -> bytes:
+    async def _dispatch(self, request: HTTPRequest, trace_id: str) -> bytes:
         path, method = request.path, request.method
+        sharded = self.config.shard_count > 1
+        local_only = request.query.get("scope") == "local"
         if path == "/v1/healthz":
             _require(method, "GET")
+            document = self.manager.health()
+            if sharded:
+                document["shard"] = self._shard_info()
             return json_response(
-                200, wire_envelope("health", self.manager.health(), trace_id=trace_id)
+                200, wire_envelope("health", document, trace_id=trace_id)
             )
         if path == "/v1/stats":
             _require(method, "GET")
+            document = self.manager.stats_document()
+            if sharded:
+                document["shard"] = self._shard_info()
+                if not local_only:
+                    peers = await self._peer_payloads("/v1/stats?scope=local", "stats")
+                    document = merge_stats_documents(
+                        [document] + peers, expected=self.config.shard_count
+                    )
             return json_response(
-                200,
-                wire_envelope("stats", self.manager.stats_document(), trace_id=trace_id),
+                200, wire_envelope("stats", document, trace_id=trace_id)
             )
         if path == "/v1/metrics":
             _require(method, "GET")
+            document = self.metrics.as_document()
+            aggregated = sharded and not local_only
+            if aggregated:
+                peers = await self._peer_payloads(
+                    "/v1/metrics?format=json&scope=local", "metrics"
+                )
+                document = merge_metrics_documents([document] + peers)
             if request.query.get("format") == "json":
                 return json_response(
-                    200,
-                    wire_envelope(
-                        "metrics", self.metrics.as_document(), trace_id=trace_id
-                    ),
+                    200, wire_envelope("metrics", document, trace_id=trace_id)
                 )
+            if aggregated:
+                return text_response(200, render_metrics_text(document))
             return text_response(200, self.metrics.render_text())
         if path == "/v1/jobs":
             _require(method, "POST")
@@ -368,6 +455,10 @@ class ReproService:
             job_id = path[len("/v1/jobs/") :]
             state = self.manager.jobs.get(job_id)
             if state is None:
+                if sharded and not local_only:
+                    proxied = await self._proxy_job_status(job_id, request)
+                    if proxied is not None:
+                        return proxied
                 return _error_response(404, f"unknown job {job_id!r}", trace_id=trace_id)
             include_result = request.query.get("result", "1") != "0"
             return json_response(
@@ -382,6 +473,8 @@ class ReproService:
             _require(method, "GET")
             key = path[len("/v1/results/") :]
             result = self.manager.result_for(key)
+            if result is None and sharded and not local_only:
+                result = await self._peer_result(key)
             if result is None:
                 return _error_response(
                     404, f"no cached result for key {key!r}", trace_id=trace_id
@@ -393,6 +486,106 @@ class ReproService:
                 ),
             )
         return _error_response(404, f"unknown endpoint {method} {path}", trace_id=trace_id)
+
+    # -- cross-shard helpers -------------------------------------------
+
+    def _shard_info(self) -> Dict[str, Any]:
+        """This shard's place in the group, for health/stats documents."""
+        config = self.config
+        return {
+            "index": config.shard_index,
+            "count": config.shard_count,
+            "port": shard_port(config.port, config.shard_index),
+            "public_port": config.port,
+            "so_reuseport": REUSE_PORT_AVAILABLE,
+        }
+
+    async def _peer_payloads(self, path: str, kind: str) -> List[Dict[str, Any]]:
+        """Fetch every *other* shard's local document at ``path``.
+
+        Unreachable or misbehaving peers are skipped (the merged document's
+        ``shards.responding`` records the shortfall): a wedged peer must
+        never take the aggregate endpoints down with it.
+        """
+        config = self.config
+        host = peer_host(config.host)
+        fetches = [
+            fetch_json(host, shard_port(config.port, index), path)
+            for index in range(config.shard_count)
+            if index != config.shard_index
+        ]
+        outcomes = await asyncio.gather(*fetches, return_exceptions=True)
+        payloads: List[Dict[str, Any]] = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                log.debug("peer %s fetch failed: %s", kind, outcome)
+                continue
+            status, body = outcome
+            if status != 200 or not isinstance(body, dict):
+                continue
+            payload = body.get("payload")
+            if isinstance(payload, dict):
+                payloads.append(payload)
+        return payloads
+
+    async def _proxy_job_status(
+        self, job_id: str, request: HTTPRequest
+    ) -> Optional[bytes]:
+        """Serve a status poll for a job another shard owns.
+
+        With SO_REUSEPORT a poll can land on any shard; sharded job IDs
+        embed the minting shard's index, so a local miss on a well-formed
+        foreign ID is fetched from the owner's peer port and re-served
+        verbatim (``scope=local`` stops the owner proxying onward).
+        Returns ``None`` -- caller answers 404 -- for unparseable IDs,
+        out-of-range owners, or an unreachable owner.
+        """
+        match = _SHARDED_JOB_ID.match(job_id)
+        if match is None:
+            return None
+        owner = int(match.group(1))
+        config = self.config
+        if owner == config.shard_index or owner >= config.shard_count:
+            return None
+        include = request.query.get("result", "1")
+        path = f"/v1/jobs/{job_id}?result={include}&scope=local"
+        try:
+            status, body = await fetch_json(
+                peer_host(config.host), shard_port(config.port, owner), path
+            )
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return None
+        if not isinstance(body, dict):
+            return None
+        return json_response(status, body)
+
+    async def _peer_result(self, key: str) -> Optional[Any]:
+        """Ask the other shards for a result this shard does not hold.
+
+        Completed payloads are retained per-shard (in the owning shard's
+        ``_finished_results``), so a trimmed poller's fallback fetch can
+        land anywhere; first peer holding the key wins.
+        """
+        config = self.config
+        host = peer_host(config.host)
+        fetches = [
+            fetch_json(
+                host, shard_port(config.port, index), f"/v1/results/{key}?scope=local"
+            )
+            for index in range(config.shard_count)
+            if index != config.shard_index
+        ]
+        outcomes = await asyncio.gather(*fetches, return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                continue
+            status, body = outcome
+            if status != 200 or not isinstance(body, dict):
+                continue
+            payload = body.get("payload")
+            if isinstance(payload, dict) and payload.get("result") is not None:
+                return payload["result"]
+        return None
 
 
 def _merge_field(name: str, envelope_value: Any, payload_value: Any) -> Any:
@@ -470,9 +663,14 @@ async def run_service(config: ServiceConfig) -> None:
     tenants = (
         ",".join(spec.name for spec in tenancy.tenants) if tenancy.tenants else "open"
     )
+    shard = (
+        f", shard={config.shard_index}/{config.shard_count}"
+        if config.shard_count > 1
+        else ""
+    )
     log.info(
         "serving on http://%s:%d (workers=%d, sim-jobs=%d, queue-limit=%d, "
-        "cache=%s, tenants=%s, wire-schema=%d)",
+        "cache=%s, tenants=%s, wire-schema=%d%s)",
         host,
         port,
         config.workers,
@@ -481,6 +679,7 @@ async def run_service(config: ServiceConfig) -> None:
         cache,
         tenants,
         WIRE_SCHEMA_VERSION,
+        shard,
     )
     try:
         await service.serve_forever()

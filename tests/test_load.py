@@ -1,0 +1,523 @@
+"""Unit tests for the load harness (repro.load) and cross-shard merging.
+
+The harness's measurement math runs with no server and no processes: the
+request loop takes its clock and issue function as parameters, the epoch
+accounting is pure, and the shard-merge functions are I/O-free by design.
+The one end-to-end piece -- two in-process shard services proxying and
+aggregating over real HTTP -- lives at the bottom.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.load.bench import LoadBenchConfig, evaluate_loadbench_gate, _free_port_block
+from repro.load.driver import DriverConfig, run_request_loop
+from repro.load.epoch import EpochSeries, Sample, quantile
+from repro.load.workload import Req, Workload
+from repro.service.shards import (
+    merge_metrics_documents,
+    merge_snapshots,
+    merge_stats_documents,
+    render_metrics_text,
+    shard_port,
+    shard_ports,
+)
+
+# ----------------------------------------------------------------------
+# Percentile math
+# ----------------------------------------------------------------------
+
+
+def test_quantile_matches_statistics_inclusive() -> None:
+    """The harness quantile is the stdlib's inclusive estimator exactly."""
+    import random
+
+    rng = random.Random(7)
+    for size in (2, 5, 21, 100, 137):
+        values = [rng.expovariate(1.0) for _ in range(size)]
+        cuts = statistics.quantiles(values, n=100, method="inclusive")
+        for q in (0.50, 0.95, 0.99):
+            assert quantile(values, q) == pytest.approx(cuts[int(q * 100) - 1])
+
+
+def test_quantile_edge_cases() -> None:
+    assert quantile([], 0.5) == 0.0
+    assert quantile([3.25], 0.99) == 3.25
+    assert quantile([1.0, 2.0], 0.5) == 1.5
+    assert quantile([1.0, 2.0, 3.0], 0.0) == 1.0
+    assert quantile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+
+# ----------------------------------------------------------------------
+# Epoch accounting
+# ----------------------------------------------------------------------
+
+
+def _sample(start: float, kind: str = "submit", tenant=None, latency: float = 0.1, ok=True):
+    return Sample(kind=kind, tenant=tenant, start=start, latency=latency, ok=ok)
+
+
+def test_epoch_series_buckets_and_discards_warmup() -> None:
+    series = EpochSeries(epoch_seconds=1.0, epochs=3, warmup_epochs=1)
+    # Two warmup samples, four measured, one straggler past the window.
+    series.extend(
+        [
+            _sample(0.1),
+            _sample(0.9, kind="health"),
+            _sample(1.1),
+            _sample(1.9),
+            _sample(2.0),
+            _sample(2.5, ok=False),
+            _sample(3.2),  # straggler: dropped, not folded into epoch 2
+        ]
+    )
+    assert series.dropped_samples == 1
+    document = series.document()
+    assert [entry["warmup"] for entry in document["per_epoch"]] == [True, False, False]
+    assert [entry["requests"] for entry in document["per_epoch"]] == [2, 2, 2]
+    measured = document["measured"]
+    # The measured window covers epochs 1-2 only: 4 samples over 2 seconds.
+    assert measured["requests"] == 4
+    assert measured["duration_seconds"] == 2.0
+    assert measured["throughput_rps"] == pytest.approx(2.0)
+    assert measured["errors"] == 1
+    # Warmup traffic (the health sample) never leaks into the aggregate.
+    assert set(measured["endpoints"]) == {"submit"}
+    assert measured["endpoints"]["submit"]["requests"] == 4
+    assert measured["endpoints"]["submit"]["errors"] == 1
+
+
+def test_epoch_series_tenant_shares_count_ok_submits_only() -> None:
+    series = EpochSeries(epoch_seconds=1.0, epochs=2, warmup_epochs=0)
+    series.extend(
+        [
+            _sample(0.1, tenant="alpha"),
+            _sample(0.2, tenant="alpha"),
+            _sample(0.3, tenant="beta"),
+            _sample(0.4, tenant="beta", ok=False),  # errors earn no share
+            _sample(0.5, kind="stats", tenant="beta"),  # reads earn no share
+            _sample(0.6),  # tenant None books under "default"
+        ]
+    )
+    tenants = series.document()["measured"]["tenants"]
+    assert tenants["alpha"] == {"completed": 2, "share": 0.5}
+    assert tenants["beta"] == {"completed": 1, "share": 0.25}
+    assert tenants["default"] == {"completed": 1, "share": 0.25}
+
+
+def test_epoch_series_validates_configuration() -> None:
+    with pytest.raises(ConfigurationError):
+        EpochSeries(epoch_seconds=0.0, epochs=2)
+    with pytest.raises(ConfigurationError):
+        EpochSeries(epoch_seconds=1.0, epochs=0)
+    with pytest.raises(ConfigurationError):
+        EpochSeries(epoch_seconds=1.0, epochs=2, warmup_epochs=2)
+
+
+# ----------------------------------------------------------------------
+# Arrival disciplines (fake clock, no server)
+# ----------------------------------------------------------------------
+
+
+class _FakeClock:
+    """A virtual clock: ``sleep`` advances it, ``issue`` charges service time."""
+
+    def __init__(self, service_seconds: float) -> None:
+        self.now = 0.0
+        self.service_seconds = service_seconds
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+    def issue(self, request: Req) -> bool:
+        self.now += self.service_seconds
+        return True
+
+
+def _next_request(index: int) -> Req:
+    return Req(index=index, kind="submit", tenant=None, seed=1, instructions=10)
+
+
+def test_open_loop_holds_the_arrival_schedule() -> None:
+    """Open loop issues on the k/rate grid even when service is slow.
+
+    Service takes 0.3s against a 1s inter-arrival gap: arrivals still land
+    at 0,1,2,3,4 -- a saturated server must show up as latency, never as a
+    silently reduced offered load.
+    """
+    clock = _FakeClock(service_seconds=0.3)
+    samples = run_request_loop(
+        "open", 5.0, _next_request, clock.issue, rate=1.0,
+        clock=clock.clock, sleep=clock.sleep,
+    )
+    assert [s.start for s in samples] == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0])
+
+
+def test_open_loop_issues_overdue_arrivals_back_to_back() -> None:
+    """When service time exceeds the gap, overdue arrivals issue immediately
+    (the schedule is fixed; the client catches up as fast as it can)."""
+    clock = _FakeClock(service_seconds=2.0)
+    samples = run_request_loop(
+        "open", 6.0, _next_request, clock.issue, rate=1.0,
+        clock=clock.clock, sleep=clock.sleep,
+    )
+    # Arrivals 0..5 all issue (scheduled inside the window), at 2s spacing.
+    assert [s.start for s in samples] == pytest.approx([0.0, 2.0, 4.0, 6.0, 8.0, 10.0])
+    assert len(samples) == 6
+
+
+def test_closed_loop_adapts_to_service_time() -> None:
+    clock = _FakeClock(service_seconds=0.3)
+    samples = run_request_loop(
+        "closed", 1.0, _next_request, clock.issue,
+        clock=clock.clock, sleep=clock.sleep,
+    )
+    assert [s.start for s in samples] == pytest.approx([0.0, 0.3, 0.6, 0.9])
+    assert all(s.latency == pytest.approx(0.3) for s in samples)
+
+
+def test_driver_config_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        DriverConfig(urls=())
+    with pytest.raises(ConfigurationError):
+        DriverConfig(urls=("http://x",), mode="burst")
+    with pytest.raises(ConfigurationError):
+        DriverConfig(urls=("http://x",), mode="open", rate=0.0)
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+
+
+def test_reqgen_is_deterministic_and_seed_distinct() -> None:
+    workload = Workload(tenants=(("alpha", 2.0), ("beta", 1.0)))
+    first = [workload.engine(3).request(i) for i in range(50)]
+    second = [workload.engine(3).request(i) for i in range(50)]
+    assert first == second
+    # Distinct (client, index) pairs must yield distinct simulation seeds,
+    # or the server coalesces the whole fleet into one job.
+    other_client = [workload.engine(4).request(i) for i in range(50)]
+    seeds = {r.seed for r in first} | {r.seed for r in other_client}
+    assert len(seeds) == 100
+    assert all(r.kind in ("submit", "health", "stats") for r in first)
+    assert all(r.tenant in ("alpha", "beta") for r in first)
+
+
+def test_workload_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        Workload(mix=())
+    with pytest.raises(ConfigurationError):
+        Workload(mix=(("fetch", 1.0),))
+    with pytest.raises(ConfigurationError):
+        Workload(mix=(("submit", 0.0),))
+    with pytest.raises(ConfigurationError):
+        Workload(tenants=(("alpha", -1.0),))
+    with pytest.raises(ConfigurationError):
+        Workload(instructions=0)
+
+
+# ----------------------------------------------------------------------
+# Cross-shard merge semantics
+# ----------------------------------------------------------------------
+
+
+def test_merge_snapshots_is_count_weighted() -> None:
+    merged = merge_snapshots(
+        [
+            {"count": 3, "mean": 1.0, "p50": 1.0, "p95": 2.0, "p99": 2.0, "max": 2.0},
+            {"count": 1, "mean": 5.0, "p50": 5.0, "p95": 5.0, "p99": 5.0, "max": 6.0},
+        ]
+    )
+    assert merged["count"] == 4
+    assert merged["mean"] == pytest.approx(2.0)  # (3*1 + 1*5) / 4: exact
+    assert merged["p50"] == pytest.approx(2.0)  # count-weighted approximation
+    assert merged["max"] == 6.0
+    empty = merge_snapshots([{"count": 0}, {}])
+    assert empty == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
+def _stats_document(shard: int, submitted: int, dispatched: dict) -> dict:
+    return {
+        "schema_version": 2,
+        "uptime_seconds": 10.0 * (shard + 1),
+        "shard": {"index": shard, "count": 2},
+        "queue": {"depth": shard, "limit": 8, "running": 1, "workers": 2},
+        "totals": {
+            "submitted": submitted,
+            "coalesced": 0,
+            "completed": submitted,
+            "failed": 0,
+            "rejections": {"overloaded": shard, "tenant_quota_exceeded": 0},
+        },
+        "default_tenant": "default",
+        "tenants": {
+            name: {
+                "jobs": {"admitted": count, "dispatched": count},
+                "sims": {"executed": count, "cache_hits": 0},
+                "queue_wait_seconds": {"count": count, "mean": 0.1, "p50": 0.1,
+                                       "p95": 0.1, "p99": 0.1, "max": 0.1},
+                "service_seconds": {"count": count, "mean": 0.2, "p50": 0.2,
+                                    "p95": 0.2, "p99": 0.2, "max": 0.2},
+                "weight": 2.0 if name == "alpha" else 1.0,
+                "max_queued": None,
+                "max_inflight": None,
+                "auth_required": False,
+                "queued": 0,
+                "queued_by_lane": {"interactive": 0, "batch": 0},
+                "inflight": 0,
+                "work_share": 1.0,  # deliberately wrong locally; merge recomputes
+            }
+            for name, count in dispatched.items()
+        },
+    }
+
+
+def test_merge_stats_documents_sums_and_recomputes_shares() -> None:
+    merged = merge_stats_documents(
+        [
+            _stats_document(0, submitted=6, dispatched={"alpha": 4, "beta": 2}),
+            _stats_document(1, submitted=4, dispatched={"alpha": 2, "beta": 2}),
+        ],
+        expected=2,
+    )
+    assert merged["totals"]["submitted"] == 10
+    assert merged["totals"]["rejections"]["overloaded"] == 1
+    assert merged["uptime_seconds"] == 20.0  # the oldest shard, not a sum
+    assert merged["queue"]["workers"] == 4
+    # Work shares are exact: recomputed over the summed dispatch counts.
+    assert merged["tenants"]["alpha"]["work_share"] == pytest.approx(0.6)
+    assert merged["tenants"]["beta"]["work_share"] == pytest.approx(0.4)
+    assert merged["tenants"]["alpha"]["jobs"]["dispatched"] == 6
+    assert merged["tenants"]["alpha"]["queue_wait_seconds"]["count"] == 6
+    shards = merged["shards"]
+    assert shards["count"] == 2 and shards["responding"] == 2
+    assert [entry["shard"] for entry in shards["per_shard"]] == [0, 1]
+    assert [entry["submitted"] for entry in shards["per_shard"]] == [6, 4]
+
+
+def test_merge_stats_documents_reports_partial_merges() -> None:
+    merged = merge_stats_documents(
+        [_stats_document(0, submitted=6, dispatched={"alpha": 4})], expected=2
+    )
+    assert merged["shards"] == {
+        "count": 2,
+        "responding": 1,
+        "per_shard": merged["shards"]["per_shard"],
+    }
+    with pytest.raises(ConfigurationError):
+        merge_stats_documents([], expected=2)
+
+
+def test_merge_metrics_documents_by_type_and_labels() -> None:
+    def doc(uptime, submitted, latency_count):
+        return {
+            "metrics": [
+                {
+                    "name": "repro_uptime_seconds",
+                    "type": "gauge",
+                    "help": "up",
+                    "samples": [{"labels": {}, "value": uptime}],
+                },
+                {
+                    "name": "repro_jobs_submitted",
+                    "type": "counter",
+                    "help": "j",
+                    "samples": [
+                        {"labels": {"tenant": "alpha"}, "value": submitted},
+                        {"labels": {"tenant": "beta"}, "value": 1.0},
+                    ],
+                },
+                {
+                    "name": "repro_service_seconds",
+                    "type": "summary",
+                    "help": "s",
+                    "samples": [
+                        {"labels": {}, "count": latency_count, "mean": 0.5,
+                         "p50": 0.5, "p95": 0.5, "p99": 0.5, "max": 1.0}
+                    ],
+                },
+            ]
+        }
+
+    merged = merge_metrics_documents([doc(12.0, 3.0, 4), doc(7.0, 2.0, 6)])
+    families = {family["name"]: family for family in merged["metrics"]}
+    # Uptime merges by max (a property of the group, not a sum).
+    assert families["repro_uptime_seconds"]["samples"][0]["value"] == 12.0
+    # Counters sum per label set.
+    by_labels = {
+        tuple(sorted(sample["labels"].items())): sample["value"]
+        for sample in families["repro_jobs_submitted"]["samples"]
+    }
+    assert by_labels[(("tenant", "alpha"),)] == 5.0
+    assert by_labels[(("tenant", "beta"),)] == 2.0
+    # Summaries merge count-weighted.
+    summary = families["repro_service_seconds"]["samples"][0]
+    assert summary["count"] == 10 and summary["max"] == 1.0
+    # The merged document renders to valid-looking Prometheus text.
+    text = render_metrics_text(merged)
+    assert "# TYPE repro_jobs_submitted counter" in text
+    assert 'repro_jobs_submitted{tenant="alpha"} 5' in text
+    assert 'repro_service_seconds{quantile="0.5"} 0.5' in text
+    assert "repro_service_seconds_count 10" in text
+    assert "repro_service_seconds_sum 5" in text
+
+
+def test_shard_port_layout() -> None:
+    assert shard_port(8080, 0) == 8081
+    assert shard_ports(8080, 3) == [8081, 8082, 8083]
+
+
+# ----------------------------------------------------------------------
+# Loadbench config and gate
+# ----------------------------------------------------------------------
+
+
+def test_loadbench_config_validation_and_workload() -> None:
+    with pytest.raises(ConfigurationError):
+        LoadBenchConfig(clients=())
+    with pytest.raises(ConfigurationError):
+        LoadBenchConfig(shards=0)
+    with pytest.raises(ConfigurationError):
+        LoadBenchConfig(tenant_mix=(("alpha", 2.0),))  # a mix of one is no mix
+    config = LoadBenchConfig(tenant_mix=(("alpha", 3.0), ("beta", 1.0)))
+    assert config.expected_shares() == {"alpha": 0.75, "beta": 0.25}
+    # The driver offers EQUAL per-tenant traffic; the weighted shares must
+    # come from the server's scheduler, or the check proves nothing.
+    assert config.workload().tenants == (("alpha", 1.0), ("beta", 1.0))
+    assert config.stage_duration() == pytest.approx(config.epochs * config.epoch_seconds)
+
+
+def _gate_artifact(throughput: float, p99_ms: float, share_error=None) -> dict:
+    stage = {
+        "clients": 2,
+        "series": {
+            "measured": {
+                "throughput_rps": throughput,
+                "endpoints": {
+                    "submit": {"requests": 10, "errors": 0, "p99_ms": p99_ms}
+                },
+            }
+        },
+    }
+    if share_error is not None:
+        stage["tenant_shares"] = {"expected": {}, "observed": {},
+                                  "max_abs_error": share_error}
+    return {"stages": [stage]}
+
+
+def test_gate_thresholds() -> None:
+    ok, lines = evaluate_loadbench_gate(
+        _gate_artifact(5.0, 400.0, share_error=0.05),
+        min_throughput=1.0, max_p99_ms=1000.0, share_tolerance=0.1,
+    )
+    assert ok and len(lines) == 3
+    ok, _ = evaluate_loadbench_gate(_gate_artifact(0.5, 400.0), min_throughput=1.0)
+    assert not ok
+    ok, _ = evaluate_loadbench_gate(_gate_artifact(5.0, 2000.0), max_p99_ms=1000.0)
+    assert not ok
+    # A share tolerance against a run without a tenant mix must fail loudly,
+    # not silently pass a check that never ran.
+    ok, lines = evaluate_loadbench_gate(_gate_artifact(5.0, 400.0), share_tolerance=0.1)
+    assert not ok and "no tenant mix" in lines[-1]
+    ok, lines = evaluate_loadbench_gate({"stages": []})
+    assert not ok
+    # Zero thresholds disable every check.
+    ok, lines = evaluate_loadbench_gate(_gate_artifact(0.0, 1e9))
+    assert ok and lines == []
+
+
+def test_gate_fails_on_stage_without_submits() -> None:
+    artifact = _gate_artifact(5.0, 400.0)
+    artifact["stages"][0]["series"]["measured"]["endpoints"] = {}
+    ok, lines = evaluate_loadbench_gate(artifact, max_p99_ms=1000.0)
+    assert not ok and "no submit requests" in lines[0].replace("\n", " ")
+
+
+# ----------------------------------------------------------------------
+# Two in-process shards over real HTTP: proxying and aggregation
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def shard_pair(tmp_path):
+    """Two ReproService shards of one group, each on its own loop thread."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import ReproService, ServiceConfig
+
+    base = _free_port_block(3)
+    services, loops, threads = [], [], []
+    try:
+        for index in range(2):
+            config = ServiceConfig(
+                host="127.0.0.1",
+                port=base,
+                cache_dir=str(tmp_path / "cache"),  # shared, like real shards
+                workers=1,
+                sim_jobs=1,
+                queue_limit=8,
+                history_limit=64,
+                shard_index=index,
+                shard_count=2,
+            )
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(target=loop.run_forever, daemon=True)
+            thread.start()
+            service = ReproService(config)
+            asyncio.run_coroutine_threadsafe(service.start(), loop).result(timeout=10)
+            services.append(service)
+            loops.append(loop)
+            threads.append(thread)
+        clients = [
+            ServiceClient(f"http://127.0.0.1:{shard_port(base, index)}", timeout=30.0)
+            for index in range(2)
+        ]
+        yield services, clients
+    finally:
+        for service, loop, thread in zip(services, loops, threads):
+            asyncio.run_coroutine_threadsafe(service.stop(), loop).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.close()
+
+
+def test_sharded_service_proxies_and_aggregates(shard_pair) -> None:
+    from _helpers import TEST_INSTRUCTIONS, TEST_SEED
+
+    from repro.exp.runner import SimJob
+    from repro.sim.configs import fmc_hash
+    from repro.workloads.suite import quick_fp_suite
+
+    services, clients = shard_pair
+    job = SimJob(fmc_hash(), quick_fp_suite().members[0], TEST_INSTRUCTIONS, TEST_SEED)
+    receipt = clients[0].submit(cases=[job])
+    assert receipt.job_id.startswith("job-s0-")
+    completed = clients[0].wait(
+        receipt.job_id, timeout=120.0, request_key=receipt.request_key
+    )
+    assert completed["status"] == "completed"
+    # Shard 1 does not own the job but proxies the poll to shard 0.
+    proxied = clients[1].status(receipt.job_id)
+    assert proxied["status"] == "completed"
+    assert proxied["job_id"] == receipt.job_id
+    # A result lookup on the non-owning shard fans out to its peers.
+    assert clients[1].result(receipt.request_key) == completed["result"]
+    # Either shard serves the merged stats document for the whole group.
+    stats = clients[1].stats()
+    assert stats["shards"]["count"] == 2
+    assert stats["shards"]["responding"] == 2
+    assert stats["totals"]["submitted"] == 1
+    assert stats["totals"]["completed"] == 1
+    # The merged metrics text carries group-wide counters.
+    merged_metrics = clients[1].metrics()
+    families = {family["name"] for family in merged_metrics["metrics"]}
+    assert "repro_uptime_seconds" in families
