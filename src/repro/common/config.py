@@ -85,19 +85,33 @@ class LoadQueueScheme(enum.Enum):
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """Geometry and latency of a single cache level."""
+    """Geometry, latency and replacement policy of a single cache level.
+
+    ``replacement_policy`` names an entry of the policy registry
+    (:data:`repro.memory.replacement.POLICY_NAMES`).  The policy is part of
+    the cache's identity -- it serializes with the config and therefore
+    flows into every job content address -- so results simulated under
+    different policies can never collide in any cache or coalescing key.
+    """
 
     size_bytes: int
     associativity: int
     line_size: int
     latency: int
     name: str = "cache"
+    replacement_policy: str = "lru"
 
     def __post_init__(self) -> None:
+        # Local import: the policy registry lives a layer above this module
+        # (repro.memory imports repro.common), so the name check resolves at
+        # construction time rather than import time.
+        from repro.memory.replacement import validate_policy_name
+
         _require_positive(f"{self.name}.size_bytes", self.size_bytes)
         _require_positive(f"{self.name}.associativity", self.associativity)
         _require_power_of_two(f"{self.name}.line_size", self.line_size)
         _require_non_negative(f"{self.name}.latency", self.latency)
+        validate_policy_name(self.replacement_policy)
         if self.size_bytes % (self.line_size * self.associativity) != 0:
             raise ConfigurationError(
                 f"{self.name}: size {self.size_bytes} is not a multiple of "
@@ -151,6 +165,14 @@ class MemoryHierarchyConfig:
         """Return a copy with a different L1 geometry (used by Figure 8b/c)."""
         return replace(
             self, l1=replace(self.l1, size_bytes=size_bytes, associativity=associativity)
+        )
+
+    def with_policy(self, policy: str) -> "MemoryHierarchyConfig":
+        """Return a copy with both cache levels running ``policy``."""
+        return replace(
+            self,
+            l1=replace(self.l1, replacement_policy=policy),
+            l2=replace(self.l2, replacement_policy=policy),
         )
 
 

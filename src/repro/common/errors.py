@@ -92,6 +92,17 @@ class ServiceError(ReproError, RuntimeError):
     """The simulation service rejected or failed a request."""
 
 
+class LoadDriverError(ReproError, RuntimeError):
+    """The load harness's client fleet failed outside the measurement contract.
+
+    Raised when a client *process* dies without reporting its samples (a
+    non-zero exit code): the stage's numbers would silently undercount the
+    offered load, so the driver fails loudly instead.  Per-request failures
+    under saturation are not errors -- they are measurements, recorded as
+    ``ok=False`` samples.
+    """
+
+
 class JobNotFoundError(ServiceError):
     """A job id the server no longer (or never) knew about (HTTP 404).
 

@@ -35,6 +35,7 @@ from repro.exp.cache import ResultCache
 from repro.obs import spans as obs_spans
 from repro.obs.logs import LOG_LEVELS, configure_logging
 from repro.exp.runner import ExperimentRunner, available_cpus, clear_trace_memo
+from repro.memory.replacement import TIMING_POLICY_NAMES
 from repro.sim import tables
 from repro.sim.configs import PAPER_CONFIGS
 from repro.sim.engine import DEFAULT_ENGINE, engine_names
@@ -89,6 +90,24 @@ def _json_render(result: Any) -> str:
     return json.dumps(to_jsonable(result), indent=2, sort_keys=True)
 
 
+def _render_policy_sweep(result: Any) -> str:
+    """Compact miss-ratio-curve tables, one per workload family."""
+    sizes = result["sizes_bytes"]
+    header = "  ".join(f"{size // 1024:>4}K" for size in sizes)
+    lines = ["policy-sweep: miss ratio vs cache size, per workload family"]
+    for family, block in result["families"].items():
+        lines.append("")
+        lines.append(f"{family}  (members: {', '.join(block['members'])})")
+        lines.append(f"  {'policy':<8} {header}")
+        for policy, curve in block["curves"].items():
+            cells = "  ".join(f"{ratio:5.3f}" for ratio in curve)
+            lines.append(f"  {policy:<8} {cells}")
+    return "\n".join(lines)
+
+
+_RENDERERS["policy-sweep"] = _render_policy_sweep
+
+
 #: The CLI's figure table is the experiment registry plus a renderer each, so
 #: the set of names the CLI accepts is exactly what the service accepts.  An
 #: experiment registered without a table renderer falls back to JSON output
@@ -107,12 +126,17 @@ DEFAULT_BENCH_FIGURES = ("sec52", "fig7")
 
 def build_context(args: argparse.Namespace, runner: Optional[ExperimentRunner]) -> ExperimentContext:
     """Build the experiment campaign the CLI flags describe."""
+    from repro.common.errors import ConfigurationError
+
+    if getattr(args, "quick", False) and args.full:
+        raise ConfigurationError("--quick and --full are mutually exclusive")
     return campaign_context(
         full=args.full,
         instructions=args.instructions,
         seed=args.seed,
         runner=runner,
         engine=getattr(args, "engine", None),
+        policy=getattr(args, "policy", None),
     )
 
 
@@ -131,6 +155,7 @@ def _campaign_parameters(args: argparse.Namespace, context: ExperimentContext) -
         "cache_dir": None if args.no_cache else str(args.cache_dir),
         "full": bool(args.full),
         "engine": getattr(args, "engine", None) or DEFAULT_ENGINE,
+        "policy": getattr(args, "policy", None) or "lru",
     }
 
 
@@ -780,6 +805,7 @@ def run_submit_command(args: argparse.Namespace) -> int:
         seed=args.seed,
         full=args.full,
         engine=args.engine,
+        policy=getattr(args, "policy", None),
         priority=args.priority,
     )
     admitted = "coalesced with in-flight job" if receipt.coalesced else "queued"
@@ -853,6 +879,12 @@ def _add_campaign_arguments(
         "(default: the quick two-workload campaign)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the quick two-workload campaign (the default; spelled out "
+        "for scripts, mutually exclusive with --full)",
+    )
+    parser.add_argument(
         "--instructions",
         type=_positive_int,
         default=None,
@@ -867,6 +899,14 @@ def _add_campaign_arguments(
         default=None,
         help=f"simulation engine driving every machine (default: {DEFAULT_ENGINE}; "
         "'reference' runs the original processor-model loop)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=TIMING_POLICY_NAMES,
+        default=None,
+        help="cache replacement policy for both levels of every machine "
+        "(default: lru, the paper's baseline; 'opt' exists only in the "
+        "offline policy-sweep profiler)",
     )
 
 
@@ -1193,6 +1233,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=engine_names(),
         default=None,
         help=f"simulation engine for the campaign (default: {DEFAULT_ENGINE})",
+    )
+    sub.add_argument(
+        "--policy",
+        choices=TIMING_POLICY_NAMES,
+        default=None,
+        help="cache replacement policy for the campaign (default: lru)",
     )
     sub.add_argument(
         "--tenant",

@@ -38,8 +38,8 @@ REQUEST_SCHEMA_VERSION = 2
 #: What the *work content* of a request hashes under.  Deliberately separate
 #: from :data:`REQUEST_SCHEMA_VERSION`: bump only when the meaning of a
 #: request changes (coalescing keys then diverge); adding admission metadata
-#: does not.
-_KEY_SCHEMA_VERSION = 1
+#: does not.  Version 2: the work content gained the replacement-policy knob.
+_KEY_SCHEMA_VERSION = 2
 
 #: The two scheduling lanes a submission can ride in.  ``interactive`` is
 #: for short quick-suite jobs and is always drained before ``batch`` (full
@@ -79,6 +79,11 @@ class JobRequest:
     #: Simulation engine for figure campaigns (``None`` = the default
     #: engine).  Case batches carry the engine inside each job's machine.
     engine: Optional[str] = None
+    #: Cache replacement policy for figure campaigns (``None`` = ``"lru"``,
+    #: the paper's baseline).  Timing policies only -- the OPT oracle lives
+    #: in the offline MRC profiler.  Case batches carry the policy inside
+    #: each job's cache configs.
+    policy: Optional[str] = None
     #: Submitting tenant (``None`` = the server's default tenant).
     tenant: Optional[str] = None
     #: Scheduling lane (one of :data:`PRIORITY_LANES`; ``None`` lets the
@@ -101,13 +106,15 @@ class JobRequest:
             or self.seed is not None
             or self.full
             or self.engine is not None
+            or self.policy is not None
         ):
             # Each SimJob embeds its own trace length, seed and (through its
-            # machine) engine; silently ignoring the campaign knobs would run
-            # different parameters than the caller asked for.
+            # machine) engine and replacement policy; silently ignoring the
+            # campaign knobs would run different parameters than the caller
+            # asked for.
             raise ConfigurationError(
-                "instructions/seed/full/engine apply to figure requests only; "
-                "case batches carry those parameters inside each job"
+                "instructions/seed/full/engine/policy apply to figure requests "
+                "only; case batches carry those parameters inside each job"
             )
         if self.instructions is not None and self.instructions <= 0:
             raise ConfigurationError(
@@ -123,6 +130,7 @@ class JobRequest:
         pass through unchanged (``__post_init__`` already rejected campaign
         knobs on them).
         """
+        from repro.memory.replacement import validate_policy_name
         from repro.sim.engine import DEFAULT_ENGINE, engine_by_name
         from repro.sim.experiments import (
             DEFAULT_SEED,
@@ -142,7 +150,11 @@ class JobRequest:
         seed = self.seed if self.seed is not None else DEFAULT_SEED
         engine = self.engine if self.engine is not None else DEFAULT_ENGINE
         engine_by_name(engine)  # unknown engines fail at admission, not execution
-        return replace(self, instructions=instructions, seed=seed, engine=engine)
+        policy = self.policy if self.policy is not None else "lru"
+        validate_policy_name(policy, timing_only=True)  # same admission contract
+        return replace(
+            self, instructions=instructions, seed=seed, engine=engine, policy=policy
+        )
 
     def key(self) -> str:
         """The request's stable content address (the coalescing key).
@@ -161,6 +173,7 @@ class JobRequest:
                 "seed": normalized.seed,
                 "full": normalized.full,
                 "engine": normalized.engine,
+                "policy": normalized.policy,
             }
         )
 
@@ -173,6 +186,7 @@ class JobRequest:
             "seed": self.seed,
             "full": self.full,
             "engine": self.engine,
+            "policy": self.policy,
             "tenant": self.tenant,
             "priority": self.priority,
         }
@@ -194,6 +208,7 @@ class JobRequest:
             seed=data.get("seed"),
             full=bool(data.get("full", False)),
             engine=data.get("engine"),
+            policy=data.get("policy"),
             tenant=data.get("tenant"),
             priority=data.get("priority"),
         )

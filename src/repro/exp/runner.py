@@ -54,8 +54,11 @@ SHM_ENV = "REPRO_SHM"
 #: semantics); old cache entries then stop matching automatically.  Changes
 #: to the *trace* semantics (generator derivation, record format) are
 #: covered separately by :data:`repro.trace.format.TRACE_FORMAT_VERSION`,
-#: which every job key also incorporates.
-JOB_SCHEMA_VERSION = 1
+#: which every job key also incorporates.  Version 2: ``lines_locked``
+#: became a first-lock-transition count (a resident line gaining a second
+#: owner no longer double-counts), so cached counters from version 1 no
+#: longer mean the same thing.
+JOB_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

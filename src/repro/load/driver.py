@@ -28,11 +28,12 @@ clock and no server.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from repro.common.errors import ConfigurationError, ServiceError
+from repro.common.errors import ConfigurationError, LoadDriverError, ServiceError
 from repro.load.epoch import Sample
 from repro.load.workload import Req, Workload
 
@@ -173,38 +174,75 @@ def _client_main(client_index: int, config: DriverConfig, queue) -> None:
     queue.put((client_index, samples))
 
 
+def collect_fleet_samples(
+    report_queue,
+    processes: Sequence,
+    expected_reports: int,
+    deadline: float,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+) -> List[Sample]:
+    """Drain the fleet's report queue until every client has reported.
+
+    Only a queue-``get`` *timeout* (:class:`queue.Empty`) means "keep
+    waiting"; any other error is a real failure and propagates.  On each
+    idle tick the fleet's health is checked: a client process that exited
+    non-zero without delivering its report raises
+    :class:`~repro.common.errors.LoadDriverError` -- the stage's numbers
+    would otherwise silently undercount the offered load until the
+    deadline.  The queue and processes are duck-typed (``get``/``empty``
+    and ``is_alive``/``exitcode``/``name``) so the wait logic is
+    unit-testable without real processes.
+    """
+    samples: List[Sample] = []
+    reported: Set[int] = set()
+    while len(reported) < expected_reports and clock() < deadline:
+        try:
+            client_index, client_samples = report_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            if report_queue.empty():
+                dead = [
+                    getattr(process, "name", f"client-{index}")
+                    for index, process in enumerate(processes)
+                    if index not in reported and process.exitcode not in (None, 0)
+                ]
+                if dead:
+                    raise LoadDriverError(
+                        "load client process(es) died without reporting: "
+                        + ", ".join(dead)
+                    )
+                if not any(process.is_alive() for process in processes):
+                    break
+            continue
+        reported.add(client_index)
+        samples.extend(client_samples)
+    return samples
+
+
 def run_load(config: DriverConfig) -> List[Sample]:
     """Run one load stage with a multi-process fleet; returns all samples.
 
-    Workers that fail to report within the duration plus a grace period
-    are terminated and their samples lost (the stage still completes with
-    the rest -- a wedged client must not wedge the bench).
+    A worker that *crashes* (non-zero exit) fails the stage with
+    :class:`~repro.common.errors.LoadDriverError`; a worker that merely
+    wedges past the duration-plus-grace deadline is terminated and its
+    samples lost (the stage still completes with the rest -- a hung client
+    must not wedge the bench).
     """
     context = multiprocessing.get_context("spawn")
-    queue = context.Queue()
+    report_queue = context.Queue()
     processes = [
         context.Process(
             target=_client_main,
-            args=(index, config, queue),
+            args=(index, config, report_queue),
             name=f"repro-load-client-{index}",
         )
         for index in range(config.clients)
     ]
     for process in processes:
         process.start()
-    samples: List[Sample] = []
-    reported = 0
     deadline = time.monotonic() + config.duration_seconds + REPORT_GRACE_SECONDS
     try:
-        while reported < config.clients and time.monotonic() < deadline:
-            try:
-                _, client_samples = queue.get(timeout=1.0)
-            except Exception:  # queue.Empty -- check liveness and keep waiting
-                if not any(process.is_alive() for process in processes) and queue.empty():
-                    break
-                continue
-            samples.extend(client_samples)
-            reported += 1
+        samples = collect_fleet_samples(report_queue, processes, config.clients, deadline)
     finally:
         for process in processes:
             process.join(timeout=5.0)

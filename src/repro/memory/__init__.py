@@ -4,24 +4,50 @@ The paper's default memory system (Table 1) is a 32 KB 4-way L1 with 32-byte
 lines and 1-cycle latency, a 2 MB 4-way L2 with 10-cycle latency and a
 400-cycle main memory.  This package provides:
 
-* :mod:`repro.memory.replacement` -- LRU replacement state with support for
-  *locked* ways (needed by the line-based Epoch Resolution Table, which pins
-  lines referenced by in-flight low-locality memory instructions).
+* :mod:`repro.memory.replacement` -- the lock-aware replacement-policy
+  registry (LRU, FIFO, LFU, 2Q, ARC and the offline Belady OPT oracle).
+  Every policy supports *locked* ways (needed by the line-based Epoch
+  Resolution Table, which pins lines referenced by in-flight low-locality
+  memory instructions) and never evicts one.
 * :mod:`repro.memory.cache` -- a set-associative cache model with per-line
   lock/unlock bookkeeping and access statistics.
 * :mod:`repro.memory.hierarchy` -- the two-level hierarchy plus main memory,
   returning the access latency and the level that serviced each access.
+* :mod:`repro.memory.mrc` -- the miss-ratio-curve profiler: miss rate versus
+  cache size per workload family, for every registered policy.
 """
 
 from repro.memory.cache import AccessResult, SetAssociativeCache
 from repro.memory.hierarchy import HierarchyAccess, MemoryHierarchy, MemoryLevel
-from repro.memory.replacement import LruState
+from repro.memory.replacement import (
+    POLICY_NAMES,
+    TIMING_POLICY_NAMES,
+    ArcState,
+    FifoState,
+    LfuState,
+    LruState,
+    OptState,
+    ReplacementPolicy,
+    TwoQState,
+    create_policy,
+    validate_policy_name,
+)
 
 __all__ = [
     "AccessResult",
+    "ArcState",
+    "FifoState",
     "HierarchyAccess",
+    "LfuState",
     "LruState",
     "MemoryHierarchy",
     "MemoryLevel",
+    "OptState",
+    "POLICY_NAMES",
+    "ReplacementPolicy",
     "SetAssociativeCache",
+    "TIMING_POLICY_NAMES",
+    "TwoQState",
+    "create_policy",
+    "validate_policy_name",
 ]

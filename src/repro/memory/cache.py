@@ -1,10 +1,11 @@
 """A set-associative cache with line locking.
 
-:class:`SetAssociativeCache` models tag state (which lines are resident), LRU
-replacement and the per-line *lock* bookkeeping required by the line-based
-Epoch Resolution Table.  It does not model data contents -- the simulator is
-trace driven -- only residency, which is all the timing and filtering models
-need.
+:class:`SetAssociativeCache` models tag state (which lines are resident), a
+pluggable lock-aware replacement policy (``CacheConfig.replacement_policy``,
+resolved through :func:`repro.memory.replacement.create_policy`) and the
+per-line *lock* bookkeeping required by the line-based Epoch Resolution
+Table.  It does not model data contents -- the simulator is trace driven --
+only residency, which is all the timing and filtering models need.
 
 Locking semantics (Section 3.4 of the paper):
 
@@ -22,12 +23,12 @@ Locking semantics (Section 3.4 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.config import CacheConfig
 from repro.common.errors import SimulationError
 from repro.common.stats import StatsRegistry
-from repro.memory.replacement import LruState
+from repro.memory.replacement import ReplacementPolicy, create_policy
 
 
 @dataclass(frozen=True)
@@ -67,9 +68,20 @@ class SetAssociativeCache:
         Optional statistics registry; access counters are recorded under
         ``{name}.hits``, ``{name}.misses``, ``{name}.evictions`` and
         ``{name}.lock_conflicts``.
+    next_use:
+        Future-reuse oracle required by the ``opt`` replacement policy
+        (see :class:`repro.memory.replacement.OptState`); ignored by every
+        online policy.  Constructing an ``opt`` cache without it raises
+        :class:`~repro.common.errors.ConfigurationError`.
     """
 
-    def __init__(self, config: CacheConfig, stats: Optional[StatsRegistry] = None) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        stats: Optional[StatsRegistry] = None,
+        *,
+        next_use: Optional[Callable[[int], float]] = None,
+    ) -> None:
         self.config = config
         self._stats = stats if stats is not None else StatsRegistry()
         #: When False, accesses update tag/LRU state but record no statistics
@@ -88,7 +100,12 @@ class SetAssociativeCache:
         self._tags: List[List[Optional[int]]] = [
             [None] * config.associativity for _ in range(self._num_sets)
         ]
-        self._lru: List[LruState] = [LruState(config.associativity) for _ in range(self._num_sets)]
+        #: per-set replacement state (the attribute name predates the policy
+        #: registry; every policy, not just LRU, lives here).
+        self._lru: List[ReplacementPolicy] = [
+            create_policy(config.replacement_policy, config.associativity, next_use=next_use)
+            for _ in range(self._num_sets)
+        ]
         #: line number -> set of lock owners.
         self._lock_owners: Dict[int, Set[int]] = {}
 
@@ -171,10 +188,15 @@ class SetAssociativeCache:
             allocated = True
             if way is None:
                 raise SimulationError("allocation succeeded but the line is not resident")
+        # The counter tracks *distinct* lines locked (the locked_line_count
+        # semantics): bump only on the unlocked -> locked transition, not
+        # when a resident locked line merely gains another owner.
+        first_lock = line not in self._lock_owners
         owners = self._lock_owners.setdefault(line, set())
         owners.add(owner)
         self._lru[set_index].lock(way)
-        self._bump(self._lines_locked_name)
+        if first_lock:
+            self._bump(self._lines_locked_name)
         return LockResult(locked=True, conflict=False, allocated=allocated)
 
     def unlock_owner(self, owner: int) -> int:
@@ -226,7 +248,7 @@ class SetAssociativeCache:
             self._stats.bump(self._evictions_name)
             # A victim is never locked, so no lock bookkeeping to clean up.
         set_tags[victim_way] = line
-        lru.touch(victim_way)
+        lru.insert(victim_way, line)
         return evicted, False
 
     def _unlock_way_for_line(self, line: int) -> None:

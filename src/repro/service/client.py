@@ -209,8 +209,8 @@ class ServiceClient:
         """``POST /v1/jobs``: submit a figure campaign or an explicit batch.
 
         All parameters are keyword-only: ``figure``, ``cases``,
-        ``instructions``, ``seed``, ``full``, ``engine``, plus the admission
-        knobs ``priority`` (``interactive``/``batch``) and ``tenant`` (which
+        ``instructions``, ``seed``, ``full``, ``engine``, ``policy`` (cache
+        replacement policy for figure campaigns), plus the admission knobs ``priority`` (``interactive``/``batch``) and ``tenant`` (which
         overrides the client-level tenant for this call).  Returns a
         :class:`SubmitReceipt`; with ``wait=True`` it polls until the job
         finishes (``timeout`` seconds) and returns the completed status
@@ -246,6 +246,7 @@ class ServiceClient:
         seed: Optional[int] = None,
         full: bool = False,
         engine: Optional[str] = None,
+        policy: Optional[str] = None,
         priority: Optional[str] = None,
         tenant: Optional[str] = None,
         wait: bool = False,
@@ -262,6 +263,7 @@ class ServiceClient:
             seed=seed,
             full=full,
             engine=engine,
+            policy=policy,
             tenant=tenant,
             priority=priority,
         )
@@ -384,6 +386,7 @@ class ServiceClient:
         engine: Optional[str] = None,
         timeout: float = 600.0,
         *,
+        policy: Optional[str] = None,
         priority: Optional[str] = None,
         tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
@@ -395,6 +398,7 @@ class ServiceClient:
             seed=seed,
             full=full,
             engine=engine,
+            policy=policy,
             priority=priority,
             tenant=tenant,
         )

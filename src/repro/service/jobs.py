@@ -131,6 +131,8 @@ class JobState:
             "instructions": self.request.instructions,
             "seed": self.request.seed,
             "full": self.request.full,
+            "engine": self.request.engine,
+            "policy": self.request.policy,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -524,6 +526,7 @@ class JobManager:
                     seed=request.seed,
                     runner=runner,
                     engine=request.engine,
+                    policy=request.policy,
                 )
                 return to_jsonable(spec.run(context))
             batch = runner.run_batch(list(request.cases))

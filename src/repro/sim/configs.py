@@ -160,6 +160,15 @@ class MachineConfig:
         """Return a copy driven by a different simulation engine."""
         return replace(self, engine=engine)
 
+    def with_policy(self, policy: str) -> "MachineConfig":
+        """Return a copy with both cache levels running ``policy``.
+
+        The policy lands inside the hierarchy's :class:`CacheConfig` fields,
+        so it flows into the job content address exactly like any other
+        machine knob -- no stale cross-policy cache hits are possible.
+        """
+        return replace(self, hierarchy=self.hierarchy.with_policy(policy))
+
     def renamed(self, name: str) -> "MachineConfig":
         """Return a copy under a different name."""
         return replace(self, name=name)

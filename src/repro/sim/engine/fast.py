@@ -83,8 +83,10 @@ from repro.uarch.result import CoreResult
 # ----------------------------------------------------------------------
 
 #: (regions, l1 config, l2 config) -> captured post-warm-up cache state.
-#: The warm-up never locks lines and records no statistics, so tags and LRU
-#: recency order fully describe the state.
+#: The warm-up never locks lines and records no statistics, so tags plus the
+#: replacement policy's own capture() snapshot fully describe the state.  The
+#: cache configs in the key carry ``replacement_policy``, so each policy gets
+#: its own entry.
 _WARM_MEMO: Dict[Tuple, Tuple] = {}
 _WARM_MEMO_LIMIT = 32
 
@@ -102,16 +104,16 @@ def clear_warm_memo() -> None:
 def _capture_cache(cache) -> Tuple:
     return (
         tuple(tuple(row) for row in cache._tags),
-        tuple(tuple(lru._order) for lru in cache._lru),
+        tuple(policy.capture() for policy in cache._lru),
     )
 
 
 def _restore_cache(cache, state: Tuple) -> None:
-    tags, orders = state
+    tags, snapshots = state
     cache._tags = [list(row) for row in tags]
-    lrus = cache._lru
-    for index, order in enumerate(orders):
-        lrus[index]._order = list(order)
+    policies = cache._lru
+    for index, snapshot in enumerate(snapshots):
+        policies[index].restore(snapshot)
 
 
 def _warm_line_ranges(footprints, cache_config) -> List[Tuple[int, int]]:
@@ -147,9 +149,13 @@ def _warm_cache_state(footprints, cache_config) -> Optional[Tuple]:
     per footprint, stride ``num_sets``), so the tail is computed directly.
 
     Returns ``None`` when footprints' line ranges overlap (re-inserted lines
-    would hit instead of allocate); the caller then falls back to the
-    reference replay.
+    would hit instead of allocate) or when the level runs a non-LRU
+    replacement policy (the closed form encodes the LRU stack's way-handout
+    order); the caller then falls back to the reference replay, which is
+    exact for every policy.
     """
+    if cache_config.replacement_policy != "lru":
+        return None
     ranges = _warm_line_ranges(footprints, cache_config)
     spans = sorted((first, first + count) for first, count in ranges)
     for (_a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):

@@ -84,6 +84,10 @@ class ExperimentContext:
     #: (``None`` keeps each machine's own choice -- the fast engine unless a
     #: configuration says otherwise).
     engine: Optional[str] = None
+    #: Replacement-policy override applied to both cache levels of every
+    #: machine the campaign runs (``None`` keeps each machine's own
+    #: configuration, LRU unless a hierarchy says otherwise).
+    policy: Optional[str] = None
     _trace_cache: Dict[str, List[Trace]] = field(default_factory=dict)
 
     def _apply_engine(self, machine: MachineConfig) -> MachineConfig:
@@ -91,6 +95,18 @@ class ExperimentContext:
         if self.engine is None or machine.engine == self.engine:
             return machine
         return machine.with_engine(self.engine)
+
+    def _apply_policy(self, machine: MachineConfig) -> MachineConfig:
+        """Rebind ``machine`` to the campaign's replacement-policy override."""
+        if self.policy is None or (
+            machine.hierarchy.l1.replacement_policy == self.policy
+            and machine.hierarchy.l2.replacement_policy == self.policy
+        ):
+            return machine
+        return machine.with_policy(self.policy)
+
+    def _apply_overrides(self, machine: MachineConfig) -> MachineConfig:
+        return self._apply_policy(self._apply_engine(machine))
 
     def suites(self) -> Dict[str, WorkloadSuite]:
         """The two suites keyed by their paper labels."""
@@ -107,7 +123,7 @@ class ExperimentContext:
 
     def run(self, machine: MachineConfig, suite: WorkloadSuite) -> SuiteResult:
         """Run one machine over one suite (through the runner when attached)."""
-        machine = self._apply_engine(machine)
+        machine = self._apply_overrides(machine)
         if self.runner is not None:
             return self.runner.run_suite(
                 machine, suite, self.instructions_per_workload, seed=self.seed
@@ -140,9 +156,9 @@ class ExperimentContext:
         suites = dict(self.suites())
         if extra_suites:
             suites.update(extra_suites)
-        if self.engine is not None:
+        if self.engine is not None or self.policy is not None:
             cases = [
-                dataclasses.replace(case, machine=self._apply_engine(case.machine))
+                dataclasses.replace(case, machine=self._apply_overrides(case.machine))
                 for case in cases
             ]
         if self.runner is not None:
@@ -970,6 +986,21 @@ def family_sweep(
     return points
 
 
+def policy_sweep_experiment(context: ExperimentContext) -> Dict[str, Any]:
+    """Miss-ratio curves per replacement policy, per workload family.
+
+    Thin registry adapter over :func:`repro.memory.mrc.policy_sweep` (the
+    profiler lives next to the policies it measures).  Unlike the timing
+    experiments this is an *offline replay* -- no machine models run, so
+    the context's ``engine``/``policy`` overrides are irrelevant here: every
+    registered policy, including the Belady OPT oracle, is profiled on
+    every family trace at the campaign's length and seed.
+    """
+    from repro.memory.mrc import policy_sweep
+
+    return policy_sweep(context)
+
+
 # ----------------------------------------------------------------------
 # The experiment registry: figures addressable by name
 # ----------------------------------------------------------------------
@@ -1029,6 +1060,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             family_sweep,
             suites=("pointer_chase", "streaming", "branchy", "phased"),
         ),
+        ExperimentSpec(
+            "policy-sweep",
+            "Miss-ratio curves: replacement policies vs cache size per workload family",
+            policy_sweep_experiment,
+            suites=("pointer_chase", "streaming", "branchy", "phased"),
+        ),
     )
 }
 
@@ -1051,6 +1088,7 @@ def campaign_context(
     seed: Optional[int] = DEFAULT_SEED,
     runner: Optional[ExperimentRunner] = None,
     engine: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> ExperimentContext:
     """Build the campaign context the CLI flags / a wire request describe.
 
@@ -1059,6 +1097,10 @@ def campaign_context(
     paper-year seed, and an optional orchestration runner.  The CLI and the
     service both build their contexts here, which is what makes a remote
     submission bit-identical to a local ``python -m repro`` run.
+
+    ``policy`` overrides the replacement policy of *both* cache levels of
+    every machine the campaign simulates (timing policies only: OPT needs
+    a future-reuse oracle and exists only in the offline MRC profiler).
     """
     from repro.workloads.suite import quick_fp_suite, quick_int_suite
 
@@ -1072,6 +1114,11 @@ def campaign_context(
         from repro.sim.engine import engine_by_name
 
         engine_by_name(engine)  # fail fast on unknown engine names
+    if policy is not None:
+        from repro.memory.replacement import validate_policy_name
+
+        # Fail fast, and keep the OPT oracle out of timing campaigns.
+        validate_policy_name(policy, timing_only=True)
     return ExperimentContext(
         fp_suite=fp_suite,
         int_suite=int_suite,
@@ -1081,4 +1128,5 @@ def campaign_context(
         seed=seed,
         runner=runner,
         engine=engine,
+        policy=policy,
     )

@@ -110,6 +110,39 @@ def test_fast_engine_is_bit_identical(scope, member, seed, machine) -> None:
         assert fast.stats.counters[name] == value, name
 
 
+def _policy_cases() -> List[Tuple[str, MachineConfig]]:
+    """Every timing replacement policy on the baseline and headline machines."""
+    from repro.memory.replacement import TIMING_POLICY_NAMES
+
+    return [
+        (policy, machine.with_policy(policy))
+        for policy in TIMING_POLICY_NAMES
+        for machine in (ooo_64(), fmc_hash())
+    ]
+
+
+@pytest.mark.parametrize(
+    "policy,machine",
+    _policy_cases(),
+    ids=[f"{policy}-{machine.name}" for policy, machine in _policy_cases()],
+)
+def test_fast_engine_is_bit_identical_per_policy(policy, machine) -> None:
+    """The engines agree for every *replacement policy*, not just LRU.
+
+    The engines never touch replacement state directly (victims come from
+    the policy object), but the fast engine's warm-up memoisation captures
+    and restores policy state -- this matrix pins that protocol for each
+    implementation in the registry.
+    """
+    assert machine.hierarchy.l1.replacement_policy == policy
+    member = list(family_suite("pointer_chase"))[0]
+    trace = generate_member_trace(member, INSTRUCTIONS, seed=SEEDS[0])
+    reference = engine_by_name("reference").run(machine, trace)
+    fast = engine_by_name("fast").run(machine, trace)
+    assert fast.to_dict() == reference.to_dict()
+    assert fast == reference
+
+
 @pytest.mark.parametrize(
     "machine", [ooo_64(), fmc_hash()], ids=lambda machine: machine.name
 )

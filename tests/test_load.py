@@ -15,9 +15,9 @@ import threading
 
 import pytest
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, LoadDriverError
 from repro.load.bench import LoadBenchConfig, evaluate_loadbench_gate, _free_port_block
-from repro.load.driver import DriverConfig, run_request_loop
+from repro.load.driver import DriverConfig, collect_fleet_samples, run_request_loop
 from repro.load.epoch import EpochSeries, Sample, quantile
 from repro.load.workload import Req, Workload
 from repro.service.shards import (
@@ -192,6 +192,84 @@ def test_driver_config_validation() -> None:
         DriverConfig(urls=("http://x",), mode="burst")
     with pytest.raises(ConfigurationError):
         DriverConfig(urls=("http://x",), mode="open", rate=0.0)
+
+
+class _FakeReportQueue:
+    """Duck-typed report queue: scripted ``get`` outcomes, then Empty."""
+
+    def __init__(self, outcomes) -> None:
+        self._outcomes = list(outcomes)
+
+    def get(self, timeout=None):
+        import queue as queue_module
+
+        if not self._outcomes:
+            raise queue_module.Empty
+        outcome = self._outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def empty(self) -> bool:
+        return not self._outcomes
+
+
+class _FakeProcess:
+    def __init__(self, name: str, alive: bool = True, exitcode=None) -> None:
+        self.name = name
+        self._alive = alive
+        self.exitcode = exitcode
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+
+def test_collect_fleet_samples_gathers_every_report() -> None:
+    sample = Sample(kind="submit", tenant="t", start=0.0, latency=0.1, ok=True)
+    report_queue = _FakeReportQueue([(0, [sample]), (1, [sample, sample])])
+    processes = [_FakeProcess("c0"), _FakeProcess("c1")]
+    collected = collect_fleet_samples(report_queue, processes, 2, deadline=10.0, clock=lambda: 0.0)
+    assert len(collected) == 3
+
+
+def test_collect_fleet_samples_propagates_real_queue_errors() -> None:
+    """Only queue.Empty means "keep waiting"; a broken queue is a failure.
+
+    Regression: the driver used to catch bare ``Exception`` around the
+    queue get, so an OSError from a torn-down multiprocessing queue was
+    silently treated as "no report yet" until the deadline.
+    """
+    report_queue = _FakeReportQueue([OSError("handle is closed")])
+    processes = [_FakeProcess("c0")]
+    with pytest.raises(OSError):
+        collect_fleet_samples(report_queue, processes, 1, deadline=10.0, clock=lambda: 0.0)
+
+
+def test_collect_fleet_samples_raises_for_dead_unreported_client() -> None:
+    """A client that crashed without reporting fails the stage loudly.
+
+    Regression: a crashed worker used to mean silently waiting out the
+    full deadline and then undercounting the offered load.
+    """
+    report_queue = _FakeReportQueue([])
+    processes = [
+        _FakeProcess("repro-load-client-0", alive=False, exitcode=1),
+        _FakeProcess("repro-load-client-1", alive=True),
+    ]
+    with pytest.raises(LoadDriverError, match="repro-load-client-0"):
+        collect_fleet_samples(report_queue, processes, 2, deadline=10.0, clock=lambda: 0.0)
+
+
+def test_collect_fleet_samples_stops_when_fleet_exits_cleanly() -> None:
+    """All clients gone with exit 0 ends the wait instead of spinning."""
+    sample = Sample(kind="submit", tenant="t", start=0.0, latency=0.1, ok=True)
+    report_queue = _FakeReportQueue([(0, [sample])])
+    processes = [
+        _FakeProcess("c0", alive=False, exitcode=0),
+        _FakeProcess("c1", alive=False, exitcode=0),
+    ]
+    collected = collect_fleet_samples(report_queue, processes, 2, deadline=10.0, clock=lambda: 0.0)
+    assert len(collected) == 1
 
 
 # ----------------------------------------------------------------------
