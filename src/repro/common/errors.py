@@ -52,6 +52,12 @@ class ErrorCode(str, enum.Enum):
     #: Per-tenant admission control: this tenant's quota is exhausted
     #: (other tenants may still be admitted).
     TENANT_QUOTA_EXCEEDED = "tenant_quota_exceeded"
+    #: The job exceeded its configured wall-clock execution timeout.
+    JOB_TIMEOUT = "job_timeout"
+    #: Every retry of a retryable execution failure (worker crash) failed.
+    JOB_RETRIES_EXHAUSTED = "job_retries_exhausted"
+    #: The server is draining for shutdown and accepts no new submissions.
+    DRAINING = "draining"
     #: The server failed while handling the request.
     INTERNAL = "internal"
 
@@ -64,6 +70,9 @@ HTTP_STATUS_FOR_CODE = {
     ErrorCode.METHOD_NOT_ALLOWED: 405,
     ErrorCode.OVERLOADED: 429,
     ErrorCode.TENANT_QUOTA_EXCEEDED: 429,
+    ErrorCode.JOB_TIMEOUT: 500,
+    ErrorCode.JOB_RETRIES_EXHAUSTED: 500,
+    ErrorCode.DRAINING: 503,
     ErrorCode.INTERNAL: 500,
 }
 
@@ -101,6 +110,39 @@ class LoadDriverError(ReproError, RuntimeError):
     under saturation are not errors -- they are measurements, recorded as
     ``ok=False`` samples.
     """
+
+
+class WorkerCrashError(ServiceError):
+    """A job's execution substrate died under it (worker process killed,
+    pool broken) rather than the simulation itself failing.
+
+    This is the **retryable** failure class: the job's inputs are fine, the
+    machinery running it was lost, so the supervisor re-runs the job on a
+    fresh runner with backoff.  Deterministic simulation errors
+    (:class:`SimulationError`, :class:`ConfigurationError`, ...) are *not*
+    retryable -- re-running identical inputs reproduces them, so they fail
+    fast instead of burning retries.
+    """
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded the server's per-job wall-clock timeout.
+
+    Carries :data:`ErrorCode.JOB_TIMEOUT`; not retried (a second attempt
+    would very likely time out again and double the damage).
+    """
+
+    code = ErrorCode.JOB_TIMEOUT
+
+
+class JobRetriesExhaustedError(ServiceError):
+    """A retryable failure survived every allowed retry.
+
+    Carries :data:`ErrorCode.JOB_RETRIES_EXHAUSTED` and chains the last
+    underlying failure as ``__cause__``.
+    """
+
+    code = ErrorCode.JOB_RETRIES_EXHAUSTED
 
 
 class JobNotFoundError(ServiceError):

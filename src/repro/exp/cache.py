@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.common.errors import ReproError
+from repro.faults import get_injector
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.trace.format import TRACE_FORMAT_VERSION
 from repro.uarch.result import CoreResult
@@ -85,6 +86,7 @@ class ResultCache:
         )
         self._hits = requests.labels("hit")
         self._misses = requests.labels("miss")
+        self._corrupt = requests.labels("corrupt")
         io_bytes = registry.counter(
             "repro_cache_io_bytes_total",
             "Bytes moved through the result cache, by direction",
@@ -100,21 +102,37 @@ class ResultCache:
     def get(self, key: str) -> Optional[CoreResult]:
         """Return the cached result for ``key``, or ``None`` on a miss.
 
-        Unreadable, corrupt or schema-mismatched entries are silently treated
-        as misses; the next :meth:`put` overwrites them.  Entries recorded
+        Unreadable or schema-mismatched entries are silently treated as
+        misses; the next :meth:`put` overwrites them.  Entries recorded
         under a different trace-format version are also misses: the content
         address *should* already differ (the job key folds the version in),
         but the belt-and-braces check here means a stale result can never be
         served even to a caller that computed its key some other way.
+
+        A *corrupt* entry -- truncated mid-write, undecodable, or carrying a
+        result payload that no longer parses -- is worse than stale: it
+        occupies the key, so without intervention every future lookup would
+        re-parse the same wreckage.  Those are quarantined (renamed to
+        ``<name>.corrupt``, outside the ``??/*.json`` globs, for post-mortem
+        inspection) and counted under a distinct
+        ``repro_cache_requests_total{result="corrupt"}`` label, then the
+        lookup misses as usual and the next :meth:`put` rewrites the entry.
         """
         path = self.path_for(key)
         try:
             data = path.read_bytes()
-            payload = json.loads(data.decode("utf-8"))
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        except OSError:
             self._misses.inc()
             return None
-        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA_VERSION:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
             self._misses.inc()
             return None
         if payload.get("trace_format") != TRACE_FORMAT_VERSION:
@@ -123,11 +141,20 @@ class ResultCache:
         try:
             result = CoreResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError, ReproError):
-            self._misses.inc()
+            self._quarantine(path)
             return None
         self._hits.inc()
         self._bytes_read.inc(len(data))
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside and count the corrupt lookup."""
+        self._corrupt.inc()
+        self._misses.inc()
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - raced with a concurrent writer
+            pass
 
     def put(
         self, key: str, result: CoreResult, metadata: Optional[Dict[str, Any]] = None
@@ -150,6 +177,12 @@ class ResultCache:
             f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
         document = json.dumps(payload, sort_keys=True)
+        injector = get_injector()
+        if injector is not None and injector.should("corrupt_cache", key=key):
+            # Chaos harness: model a torn write by persisting only half the
+            # document (atomically, so this tests the *reader's* quarantine
+            # path, not the writer's temp-file handling).
+            document = document[: max(1, len(document) // 2)]
         try:
             temporary.write_text(document, encoding="utf-8")
             os.replace(temporary, path)

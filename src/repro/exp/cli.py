@@ -676,6 +676,11 @@ def run_serve_command(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         tenancy=tenancy,
         shard_count=max(1, args.shards),
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
+        journal=not args.no_journal,
+        drain_timeout=args.drain_timeout,
+        faults=args.faults,
     )
     if config.shard_count > 1:
         serve_sharded(config, log_level=args.log_level, log_json=args.log_json)
@@ -727,6 +732,8 @@ def run_loadbench_command(args: argparse.Namespace) -> int:
             tenant_mix=tenant_mix,
             timeout=args.timeout,
             seed=args.seed,
+            faults=args.faults,
+            expected_failures=args.expected_failures,
         )
     except (ValueError, ReproError) as error:
         print(f"[repro] bad loadbench configuration: {error}", file=sys.stderr)
@@ -748,6 +755,49 @@ def run_loadbench_command(args: argparse.Namespace) -> int:
             print("[repro] loadbench gate FAILED", file=sys.stderr)
             return 1
         print("[repro] loadbench gate passed")
+    return 0
+
+
+def run_chaos_command(args: argparse.Namespace) -> int:
+    """Implement ``repro chaos``: load + fault injection + invariants.
+
+    Self-serves a fault-injected (sharded) server, offers a batch of
+    content-addressed submissions, then asserts the fault-tolerance
+    contract: zero lost jobs, bit-identical results, every key resolvable
+    (after a SIGTERM + restart unless ``--no-restart``), journal replay on
+    restart, and a bounded error rate.  Exits non-zero when any check
+    fails; the full evidence lands in the JSON artifact.
+    """
+    from repro.faults.chaos import ChaosConfig, run_chaos
+
+    try:
+        config = ChaosConfig(
+            shards=args.shards,
+            serve_workers=args.serve_workers,
+            queue_limit=args.queue_limit,
+            submissions=args.submissions,
+            clients=args.clients,
+            instructions=args.instructions,
+            seed=args.seed,
+            timeout=args.timeout,
+            faults=args.faults,
+            max_error_rate=args.max_error_rate,
+            restart=not args.no_restart,
+        )
+    except (ValueError, ReproError) as error:
+        print(f"[repro] bad chaos configuration: {error}", file=sys.stderr)
+        return 2
+    log = (lambda message: None) if args.quiet else print
+    ok, artifact = run_chaos(config, log=log)
+    Path(args.out).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(f"[repro] wrote {args.out}")
+    for name, check in artifact["checks"].items():
+        print(f"[repro] chaos: {name}: {'ok' if check['ok'] else 'FAIL'} "
+              f"({check['detail']})")
+    if not ok:
+        print("[repro] chaos checks FAILED", file=sys.stderr)
+        return 1
+    print("[repro] chaos checks passed")
     return 0
 
 
@@ -1077,6 +1127,41 @@ def build_parser() -> argparse.ArgumentParser:
         "shard i serves port+1+i, the public port is shared via SO_REUSEPORT "
         "where available",
     )
+    sub.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job execution attempt (default: none)",
+    )
+    sub.add_argument(
+        "--job-retries",
+        type=int,
+        default=2,
+        help="supervised retries for retryable job failures, e.g. worker "
+        "crashes (default: 2)",
+    )
+    sub.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight jobs before exiting "
+        "(default: 10)",
+    )
+    sub.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the durable job journal (journalling needs --cache-dir "
+        "and is on by default)",
+    )
+    sub.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE.json",
+        help="chaos testing: activate fault injection from this spec file "
+        "(see docs/USAGE.md)",
+    )
     sub.set_defaults(handler=run_serve_command)
 
     sub = subparsers.add_parser(
@@ -1189,8 +1274,95 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="gate: allowed |observed - expected| tenant share (0 = off)",
     )
+    sub.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE.json",
+        help="launch the self-served instance with this fault spec active",
+    )
+    sub.add_argument(
+        "--expected-failures",
+        type=int,
+        default=0,
+        help="client-process deaths tolerated per stage (default: 0; raise "
+        "for fault-injected runs)",
+    )
     sub.add_argument("--quiet", action="store_true", help="suppress progress output")
     sub.set_defaults(handler=run_loadbench_command)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="run the fault-injection harness against a self-served instance "
+        "and assert the fault-tolerance contract",
+    )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shards for the server under test (default: 2)",
+    )
+    sub.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="worker tasks per shard (default: 2)",
+    )
+    sub.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="queue limit per shard (default: 32)",
+    )
+    sub.add_argument(
+        "--submissions",
+        type=int,
+        default=24,
+        help="jobs offered, all distinct content addresses (default: 24)",
+    )
+    sub.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent submitter threads (default: 4)",
+    )
+    sub.add_argument(
+        "--instructions",
+        type=int,
+        default=1500,
+        help="trace length per submitted simulation (default: 1500)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=42, help="workload seed (default: 42)"
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-submission budget in seconds (default: 60)",
+    )
+    sub.add_argument(
+        "--faults",
+        default=None,
+        metavar="FILE.json",
+        help="fault spec (default: the built-in kill/drop/corrupt/500 mix)",
+    )
+    sub.add_argument(
+        "--max-error-rate",
+        type=float,
+        default=0.34,
+        help="allowed errors/submissions ratio (default: 0.34)",
+    )
+    sub.add_argument(
+        "--no-restart",
+        action="store_true",
+        help="skip the SIGTERM + restart round-trip (and its journal-replay "
+        "check)",
+    )
+    sub.add_argument(
+        "--out", default="CHAOS.json", help="artifact path (default: CHAOS.json)"
+    )
+    sub.add_argument("--quiet", action="store_true", help="suppress progress output")
+    sub.set_defaults(handler=run_chaos_command)
 
     sub = subparsers.add_parser(
         "profile",

@@ -523,7 +523,15 @@ class ExperimentRunner:
                     tasks.append(_Task(job, payload))
                 chunksize = -(-len(tasks) // min(workers, len(tasks)))
                 pool = self._ensure_pool(workers)
-                pairs = pool.map(_pool_worker, tasks, chunksize=chunksize)
+                try:
+                    pairs = pool.map(_pool_worker, tasks, chunksize=chunksize)
+                except Exception:
+                    # A failed map leaves the pool in an unknown state (a
+                    # killed worker can wedge its result queue); drop it so
+                    # the next batch -- or a supervised retry -- re-spawns a
+                    # fresh pool instead of inheriting the wreckage.
+                    self.close()
+                    raise
             finally:
                 for segment in segments:
                     try:

@@ -1,0 +1,255 @@
+"""The fault-injection registry: spec parsing and per-site decisions.
+
+A **fault spec** is a small JSON document naming the sites to perturb and
+how hard::
+
+    {
+      "seed": 1234,
+      "kill_worker":  {"rate": 0.3, "max": 5},
+      "drop_peer":    {"rate": 0.1},
+      "delay_peer":   {"rate": 0.1, "seconds": 0.2},
+      "corrupt_cache":{"rate": 0.2, "max": 3},
+      "http_500":     {"rate": 0.05}
+    }
+
+Each site carries a ``rate`` (per-decision injection probability), an
+optional ``max`` (lifetime cap on injections at that site) and, for
+``delay_peer``, the delay in ``seconds``.  Unknown sites are rejected at
+parse time so a typo cannot silently disable a fault.
+
+**Determinism.** Every site draws from its own ``random.Random`` seeded
+with ``(spec seed, site name)``, so a given spec produces the same
+injection sequence per site across runs -- a chaos failure reproduces by
+re-running with the same spec.  Decisions taken with a ``key`` (the job's
+content address at the ``kill_worker`` site) additionally fire **at most
+once per key**: the injected fault models a *transient* crash, so a
+supervised retry of the same job must be allowed to succeed -- otherwise
+an unlucky key could exhaust its retries against the injector itself and
+the "zero lost jobs" contract would be unfalsifiable.
+
+The instrumented sites are:
+
+* ``kill_worker`` -- :class:`repro.service.jobs.JobManager` raises
+  :class:`~repro.common.errors.WorkerCrashError` before executing a job,
+  exercising the supervisor's retry path;
+* ``drop_peer`` / ``delay_peer`` -- :func:`repro.service.shards.fetch_json`
+  fails (``OSError``) or stalls before dialling a peer shard, exercising
+  the suspect-peer exclusion;
+* ``corrupt_cache`` -- :meth:`repro.exp.cache.ResultCache.put` truncates
+  the entry it just wrote, exercising the corrupt-entry quarantine;
+* ``http_500`` -- the server fails a request before dispatch, exercising
+  client backoff and the load harness's error accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Environment variable activating injection process-wide: a fault-spec
+#: file path, or the spec JSON itself (detected by a leading ``{``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The injection sites a spec may name.
+FAULT_SITES = ("kill_worker", "drop_peer", "delay_peer", "corrupt_cache", "http_500")
+
+#: Per-site settings a spec may carry.
+_SITE_FIELDS = {"rate", "max", "seconds"}
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One site's injection settings."""
+
+    rate: float = 0.0
+    #: Lifetime cap on injections at this site (``None`` = unbounded).
+    max: Optional[int] = None
+    #: Injected delay (``delay_peer`` only).
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ConfigurationError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.max is not None and self.max < 0:
+            raise ConfigurationError(f"fault max must be >= 0, got {self.max}")
+        if self.seconds < 0.0:
+            raise ConfigurationError(f"fault seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed fault spec: the seed and the per-site settings."""
+
+    seed: int = 0
+    sites: Mapping[str, SiteSpec] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"expected a fault-spec mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(FAULT_SITES) - {"seed"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault sites {sorted(unknown)} (one of {', '.join(FAULT_SITES)})"
+            )
+        sites: Dict[str, SiteSpec] = {}
+        for site in FAULT_SITES:
+            settings = data.get(site)
+            if settings is None:
+                continue
+            if not isinstance(settings, Mapping):
+                raise ConfigurationError(f"fault site {site!r} wants a settings mapping")
+            bad = set(settings) - _SITE_FIELDS
+            if bad:
+                raise ConfigurationError(f"fault site {site!r}: unknown settings {sorted(bad)}")
+            sites[site] = SiteSpec(
+                rate=float(settings.get("rate", 0.0)),
+                max=settings.get("max"),
+                seconds=float(settings.get("seconds", 0.0)),
+            )
+        return cls(seed=int(data.get("seed", 0)), sites=sites)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultSpec":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigurationError(f"cannot read fault spec {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"fault spec {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"seed": self.seed}
+        for site, spec in self.sites.items():
+            entry: Dict[str, Any] = {"rate": spec.rate}
+            if spec.max is not None:
+                entry["max"] = spec.max
+            if spec.seconds:
+                entry["seconds"] = spec.seconds
+            document[site] = entry
+        return document
+
+
+class FaultInjector:
+    """The live registry the instrumented sites ask "should I fail here?".
+
+    Thread-safe (sites fire from the event loop, worker threads and pool
+    put() paths alike); decisions are deterministic per ``(seed, site)``.
+    Injection counts are kept locally and mirrored into a
+    ``repro_faults_injected_total{site}`` counter once :meth:`bind_metrics`
+    attaches a registry (the server binds its own at startup).
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{spec.seed}:{site}") for site in spec.sites
+        }
+        self.counts: Dict[str, int] = {site: 0 for site in spec.sites}
+        self._fired_keys: Set[Tuple[str, str]] = set()
+        self._counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror injection counts into ``registry`` from now on."""
+        self._counter = registry.counter(
+            "repro_faults_injected_total",
+            "Faults injected by the chaos harness, by site",
+            labelnames=("site",),
+        )
+
+    def should(self, site: str, key: Optional[str] = None) -> bool:
+        """Decide one injection at ``site`` (see the module docstring).
+
+        ``key`` scopes the decision: a given key is faulted at most once
+        per site, so supervised retries of an injected crash can succeed.
+        """
+        spec = self.spec.sites.get(site)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        with self._lock:
+            if key is not None and (site, key) in self._fired_keys:
+                return False
+            if spec.max is not None and self.counts[site] >= spec.max:
+                return False
+            if self._rngs[site].random() >= spec.rate:
+                return False
+            self.counts[site] += 1
+            if key is not None:
+                self._fired_keys.add((site, key))
+        if self._counter is not None:
+            self._counter.labels(site).inc()
+        return True
+
+    def peer_delay(self) -> float:
+        """The delay to impose on this peer call (0.0 = none)."""
+        if self.should("delay_peer"):
+            return self.spec.sites["delay_peer"].seconds
+        return 0.0
+
+
+#: The process-global injector (``None`` = injection disabled).
+_INJECTOR: Optional[FaultInjector] = None
+_ENV_CHECKED = False
+
+
+def get_injector() -> Optional[FaultInjector]:
+    """The active injector, if any; lazily honours :data:`FAULTS_ENV`.
+
+    The environment is consulted once per process: fault sites call this on
+    hot paths, and a missing variable must stay a cheap check.
+    """
+    global _ENV_CHECKED
+    if _INJECTOR is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        install_from_env()
+    return _INJECTOR
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    """Install (or, with ``None``, remove) the process-global injector."""
+    global _INJECTOR, _ENV_CHECKED
+    _INJECTOR = injector
+    _ENV_CHECKED = True
+
+
+def uninstall() -> None:
+    """Remove the injector and re-arm the environment check (for tests)."""
+    global _INJECTOR, _ENV_CHECKED
+    _INJECTOR = None
+    _ENV_CHECKED = False
+
+
+def install_from_env() -> Optional[FaultInjector]:
+    """Install an injector from :data:`FAULTS_ENV`, when set.
+
+    The variable carries either a fault-spec file path or the spec JSON
+    inline (leading ``{``); an empty value means disabled.
+    """
+    value = os.environ.get(FAULTS_ENV, "").strip()
+    if not value:
+        return None
+    if value.startswith("{"):
+        try:
+            spec = FaultSpec.from_dict(json.loads(value))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{FAULTS_ENV} carries invalid inline JSON: {error}"
+            ) from None
+    else:
+        spec = FaultSpec.from_file(value)
+    injector = FaultInjector(spec)
+    install(injector)
+    return injector

@@ -62,6 +62,11 @@ class DriverConfig:
     workload: Workload = field(default_factory=Workload)
     #: Per-request client timeout (also bounds the submit wait).
     timeout: float = 30.0
+    #: Client-process deaths tolerated before the stage fails.  Zero (the
+    #: default) keeps the strict contract: any client that dies without
+    #: reporting is a harness bug.  Chaos runs raise it so *injected* kills
+    #: are absorbed as measurements while genuine fleet bugs still fail.
+    expected_failures: int = 0
 
     def __post_init__(self) -> None:
         if not self.urls:
@@ -74,6 +79,8 @@ class DriverConfig:
             raise ConfigurationError("duration must be > 0 seconds")
         if self.mode == "open" and self.rate <= 0:
             raise ConfigurationError("open-loop mode needs a rate > 0")
+        if self.expected_failures < 0:
+            raise ConfigurationError("expected_failures must be >= 0")
 
 
 def run_request_loop(
@@ -181,6 +188,7 @@ def collect_fleet_samples(
     deadline: float,
     *,
     clock: Callable[[], float] = time.monotonic,
+    expected_failures: int = 0,
 ) -> List[Sample]:
     """Drain the fleet's report queue until every client has reported.
 
@@ -190,26 +198,40 @@ def collect_fleet_samples(
     non-zero without delivering its report raises
     :class:`~repro.common.errors.LoadDriverError` -- the stage's numbers
     would otherwise silently undercount the offered load until the
-    deadline.  The queue and processes are duck-typed (``get``/``empty``
-    and ``is_alive``/``exitcode``/``name``) so the wait logic is
-    unit-testable without real processes.
+    deadline.  ``expected_failures`` relaxes that contract for chaos runs:
+    up to that many deaths are tolerated (their samples simply missing, and
+    the wait for their reports abandoned), so an injected client kill is a
+    measurement while the death of one client *more* than the fault spec
+    explains still fails the stage loudly.  The queue and processes are
+    duck-typed (``get``/``empty`` and ``is_alive``/``exitcode``/``name``)
+    so the wait logic is unit-testable without real processes.
     """
     samples: List[Sample] = []
     reported: Set[int] = set()
-    while len(reported) < expected_reports and clock() < deadline:
+    dead: Set[int] = set()
+    while len(reported) + len(dead) < expected_reports and clock() < deadline:
         try:
             client_index, client_samples = report_queue.get(timeout=1.0)
         except queue_module.Empty:
             if report_queue.empty():
-                dead = [
-                    getattr(process, "name", f"client-{index}")
+                dead = {
+                    index
                     for index, process in enumerate(processes)
                     if index not in reported and process.exitcode not in (None, 0)
-                ]
-                if dead:
+                }
+                if len(dead) > expected_failures:
+                    names = [
+                        getattr(processes[index], "name", f"client-{index}")
+                        for index in sorted(dead)
+                    ]
                     raise LoadDriverError(
                         "load client process(es) died without reporting: "
-                        + ", ".join(dead)
+                        + ", ".join(names)
+                        + (
+                            f" ({len(dead)} deaths > {expected_failures} expected)"
+                            if expected_failures
+                            else ""
+                        )
                     )
                 if not any(process.is_alive() for process in processes):
                     break
@@ -242,7 +264,13 @@ def run_load(config: DriverConfig) -> List[Sample]:
         process.start()
     deadline = time.monotonic() + config.duration_seconds + REPORT_GRACE_SECONDS
     try:
-        samples = collect_fleet_samples(report_queue, processes, config.clients, deadline)
+        samples = collect_fleet_samples(
+            report_queue,
+            processes,
+            config.clients,
+            deadline,
+            expected_failures=config.expected_failures,
+        )
     finally:
         for process in processes:
             process.join(timeout=5.0)

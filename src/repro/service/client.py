@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -56,6 +57,17 @@ _OPENER = urllib.request.build_opener(urllib.request.ProxyHandler({}))
 
 #: The old positional order of ``submit`` (the back-compat shim's contract).
 _SUBMIT_POSITIONAL = ("figure", "cases", "instructions", "seed", "full", "engine")
+
+#: Status polling backs off exponentially with **full jitter** -- poll ``n``
+#: sleeps ``uniform(0, min(cap, interval * 2**n))`` -- so a fleet of waiting
+#: clients decorrelates instead of hammering the server in lockstep.
+POLL_INTERVAL_CAP = 1.0
+
+#: ``wait=True`` submissions that hit a 429 resubmit with the same jittered
+#: exponential schedule (capped here), except that a ``Retry-After`` hint
+#: from the server takes precedence over the computed backoff.
+RESUBMIT_BACKOFF_BASE = 0.25
+RESUBMIT_BACKOFF_CAP = 10.0
 
 
 @dataclass(frozen=True)
@@ -168,18 +180,32 @@ class ServiceClient:
         return str(body.get("message", body))
 
     @classmethod
-    def _raise_overloaded(cls, data: Any) -> None:
+    def _overloaded_error(cls, data: Any) -> ServiceOverloadedError:
         """Map a 429 body to :class:`ServiceOverloadedError` with its fields."""
         body = cls._error_body(data)
         try:
             code = ErrorCode(body.get("code", ErrorCode.OVERLOADED.value))
         except ValueError:
             code = ErrorCode.OVERLOADED
-        raise ServiceOverloadedError(
+        return ServiceOverloadedError(
             str(body.get("message", "service overloaded")),
             code=code,
             tenant=body.get("tenant"),
             retry_after=body.get("retry_after"),
+        )
+
+    @staticmethod
+    def _resubmit_delay(retry_after: Optional[float], attempt: int) -> float:
+        """How long a ``wait=True`` 429 resubmission should back off.
+
+        The server's ``Retry-After`` hint is honoured when present (with a
+        little added jitter so simultaneously rejected clients do not
+        resubmit in lockstep); otherwise capped exponential with full jitter.
+        """
+        if retry_after is not None and retry_after > 0:
+            return float(retry_after) * random.uniform(1.0, 1.25)
+        return random.uniform(
+            0.0, min(RESUBMIT_BACKOFF_CAP, RESUBMIT_BACKOFF_BASE * 2**attempt)
         )
 
     # -- endpoints -----------------------------------------------------
@@ -198,9 +224,14 @@ class ServiceClient:
             raise ServiceError(f"stats failed ({status}): {self._error_message(data)}")
         return open_envelope(data, "stats")
 
-    def metrics(self) -> Dict[str, Any]:
-        """``GET /v1/metrics?format=json``: the server's metrics document."""
-        status, data = self._request("GET", "/v1/metrics?format=json")
+    def metrics(self, *, scope: Optional[str] = None) -> Dict[str, Any]:
+        """``GET /v1/metrics?format=json``: the server's metrics document.
+
+        ``scope="local"`` asks a shard for its own document only, skipping
+        the cross-shard merge (and hence any dependence on peer health).
+        """
+        suffix = f"&scope={scope}" if scope else ""
+        status, data = self._request("GET", f"/v1/metrics?format=json{suffix}")
         if status != 200:
             raise ServiceError(f"metrics failed ({status}): {self._error_message(data)}")
         return open_envelope(data, "metrics")
@@ -267,21 +298,34 @@ class ServiceClient:
             tenant=tenant,
             priority=priority,
         )
-        status, data = self._request(
-            "POST",
-            "/v1/jobs",
-            wire_envelope(
-                "job_request",
-                request.to_dict(),
-                tenant=tenant,
-                priority=priority,
-                schema_version=REQUEST_SCHEMA_VERSION,
-                trace_id=trace_id,
-            ),
+        envelope_payload = wire_envelope(
+            "job_request",
+            request.to_dict(),
+            tenant=tenant,
+            priority=priority,
+            schema_version=REQUEST_SCHEMA_VERSION,
             trace_id=trace_id,
         )
-        if status == 429:
-            self._raise_overloaded(data)
+        deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            status, data = self._request(
+                "POST", "/v1/jobs", envelope_payload, trace_id=trace_id
+            )
+            if status != 429:
+                break
+            error = self._overloaded_error(data)
+            if not wait:
+                raise error
+            # wait=True means the caller wants the job's outcome, not the
+            # admission verdict: a 429 is resubmitted (honouring the
+            # server's Retry-After) until the overall timeout budget runs
+            # out, at which point the last rejection surfaces.
+            delay = self._resubmit_delay(error.retry_after, attempt)
+            if time.monotonic() + delay >= deadline:
+                raise error
+            attempt += 1
+            time.sleep(delay)
         if status not in (200, 202):
             raise ServiceError(f"submission rejected ({status}): {self._error_message(data)}")
         envelope = read_envelope(data, "job_accepted")
@@ -297,8 +341,11 @@ class ServiceClient:
             trace_id=envelope.trace_id if envelope.trace_id is not None else trace_id,
         )
         if wait:
+            # The poll loop gets whatever budget the resubmissions left.
             return self.wait(
-                receipt.job_id, timeout=timeout, request_key=receipt.request_key
+                receipt.job_id,
+                timeout=max(0.0, deadline - time.monotonic()),
+                request_key=receipt.request_key,
             )
         return receipt
 
@@ -327,9 +374,13 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         """Poll until the job completes; raises on failure or timeout.
 
-        The poll interval doubles (capped at one second) so short jobs return
-        promptly while long waits do not hammer the server -- every poll is a
-        fresh connection on a ``Connection: close`` protocol.
+        The poll interval grows exponentially from ``poll_interval`` with
+        **full jitter** (each sleep is uniform between zero and the capped
+        exponential envelope, see :data:`POLL_INTERVAL_CAP`): short jobs
+        still return promptly, long waits do not hammer the server -- every
+        poll is a fresh connection on a ``Connection: close`` protocol --
+        and a fleet of pollers started together spreads out instead of
+        arriving in synchronised waves.
 
         ``request_key`` (the :attr:`SubmitReceipt.request_key` content
         address) arms the trim-survival fallback: under backlog a job can
@@ -340,7 +391,7 @@ class ServiceClient:
         ``"trimmed": True``) instead of failing work that actually finished.
         """
         deadline = time.monotonic() + timeout
-        interval = poll_interval
+        attempt = 0
         while True:
             try:
                 view = self.status(job_id)
@@ -364,8 +415,10 @@ class ServiceClient:
                 raise ServiceError(f"job {job_id} failed: {view.get('error')}")
             if time.monotonic() >= deadline:
                 raise ServiceError(f"timed out after {timeout:.0f}s waiting for {job_id}")
-            time.sleep(interval)
-            interval = min(interval * 2, 1.0)
+            envelope = min(POLL_INTERVAL_CAP, poll_interval * 2**attempt)
+            attempt += 1
+            remaining = max(0.0, deadline - time.monotonic())
+            time.sleep(min(random.uniform(0.0, envelope), remaining))
 
     def result(self, key: str) -> Optional[Dict[str, Any]]:
         """``GET /v1/results/{key}``: one cached simulation, or ``None``."""

@@ -41,22 +41,39 @@ import asyncio
 import enum
 import itertools
 import math
+import random
 import re
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.common.errors import ErrorCode, ServiceOverloadedError
+from repro.common.errors import (
+    ConfigurationError,
+    ErrorCode,
+    JobRetriesExhaustedError,
+    JobTimeoutError,
+    ReproError,
+    ServiceOverloadedError,
+    WorkerCrashError,
+)
 from repro.common.serialize import to_jsonable
 from repro.exp.cache import ResultCache
 from repro.exp.request import JobRequest
 from repro.exp.runner import ExperimentRunner
+from repro.faults import get_injector
 from repro.obs import spans
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.service.journal import (
+    JobJournal,
+    JournalReplay,
+    replay_journal,
+)
 from repro.service.tenancy import (
+    JOB_EVENTS,
     LANE_BATCH,
     LANE_INTERACTIVE,
     TenancyConfig,
@@ -69,7 +86,35 @@ from repro.sim.experiments import campaign_context, experiment_by_name
 #: stable float field; v2 is the documented stable contract for scrapers.
 STATS_SCHEMA_VERSION = 2
 
+#: Supervised-retry backoff: attempt ``n`` sleeps ``uniform(0, min(cap,
+#: base * 2**n))`` (capped exponential with full jitter, so a burst of
+#: crashed jobs does not retry in lockstep).
+RETRY_BACKOFF_BASE = 0.1
+RETRY_BACKOFF_CAP = 5.0
+
 log = get_logger("service.jobs")
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a job failure is worth re-running on a fresh runner.
+
+    Retryable failures are *substrate* deaths -- the worker process or its
+    IPC plumbing was lost, not the simulation itself: re-running identical
+    inputs can succeed.  Deterministic library errors (bad configuration,
+    simulation invariant violations) reproduce on every attempt, so they
+    fail fast rather than burning retries; :class:`WorkerCrashError` is the
+    one :class:`ReproError` that *is* retryable, by definition.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(error, WorkerCrashError):
+        return True
+    if isinstance(error, ReproError):
+        return False
+    return isinstance(
+        error,
+        (BrokenProcessPool, BrokenPipeError, EOFError, ConnectionError, OSError),
+    )
 
 
 class JobStatus(enum.Enum):
@@ -108,6 +153,12 @@ class JobState:
     finished_monotonic: Optional[float] = None
     result: Optional[Any] = None
     error: Optional[str] = None
+    #: Machine-readable code for a failed job (an :class:`ErrorCode` value),
+    #: so pollers can branch on timeouts vs exhausted retries vs plain bugs.
+    error_code: Optional[str] = None
+    #: Execution attempts so far (1 = first run; >1 means the supervisor
+    #: retried a substrate crash).
+    attempts: int = 0
     #: How many later identical submissions were folded into this job.
     coalesced_submissions: int = 0
     #: The runner executing this job (progress counters), set by the worker.
@@ -138,11 +189,13 @@ class JobState:
             "finished_at": self.finished_at,
             "elapsed_seconds": elapsed,
             "coalesced_submissions": self.coalesced_submissions,
+            "attempts": self.attempts,
             "progress": {
                 "executed_jobs": runner.executed_jobs if runner is not None else 0,
                 "cache_hits": runner.cache_hits if runner is not None else 0,
             },
             "error": self.error,
+            "error_code": self.error_code,
         }
         if include_result and self.status is JobStatus.COMPLETED:
             document["result"] = self.result
@@ -164,12 +217,22 @@ class JobManager:
         metrics: Optional[MetricsRegistry] = None,
         shard_index: int = 0,
         shard_count: int = 1,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 2,
+        retry_backoff_base: float = RETRY_BACKOFF_BASE,
     ) -> None:
         self.cache = cache
         self.workers = max(1, workers)
         self.sim_jobs = max(1, sim_jobs)
         self.queue_limit = max(1, queue_limit)
         self.history_limit = max(1, history_limit)
+        #: Per-job wall-clock execution bound (``None`` = unlimited, the
+        #: default: ``--full`` campaigns legitimately run for a long time).
+        self.job_timeout = job_timeout if job_timeout and job_timeout > 0 else None
+        #: How many times a *retryable* failure (see :func:`is_retryable`)
+        #: is re-run before the job fails with ``job_retries_exhausted``.
+        self.job_retries = max(0, job_retries)
+        self.retry_backoff_base = max(0.0, retry_backoff_base)
         #: Which shard of a ``repro serve --shards N`` group this manager is.
         #: Sharded job IDs carry the shard index (``job-s2-000017``) so any
         #: shard can route a status poll to the shard that owns the job.
@@ -210,6 +273,17 @@ class JobManager:
         self._service_time_count = 0
         #: Test hook: called (in the worker thread) just before execution.
         self.pre_execute: Optional[Callable[[JobState], None]] = None
+        #: The durable lifecycle journal, attached by :meth:`recover_journal`
+        #: (``None`` = journaling disabled, e.g. cache-less servers).
+        self.journal: Optional[JobJournal] = None
+        self._retries_total = self.metrics.counter(
+            "repro_job_retries_total",
+            "Supervised re-executions after retryable job failures",
+        )
+        self._journal_replays = self.metrics.counter(
+            "repro_journal_replays_total",
+            "Journal generations replayed at startup",
+        )
         # Queue-state gauges, computed at scrape time so they can never
         # drift from the scheduler's actual state.
         self.metrics.gauge(
@@ -241,6 +315,79 @@ class JobManager:
         if self._worker_tasks:
             await asyncio.gather(*self._worker_tasks, return_exceptions=True)
         self._worker_tasks = []
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- durability ----------------------------------------------------
+
+    def recover_journal(self, path: Union[str, Path]) -> JournalReplay:
+        """Replay a prior journal generation at ``path`` and journal onward.
+
+        Call before the server accepts connections.  Any existing file is
+        replayed (per-tenant accounting and aggregate totals restored, every
+        admitted-but-unfinished job re-queued), then rotated aside to
+        ``<name>.prev``; a fresh generation opens with a ``snapshot`` record
+        of the restored totals so accounting chains across any number of
+        restarts.  Re-queues bypass admission control (the jobs were already
+        admitted once) and complete instantly when the shared result cache
+        already holds their work -- the content-addressed idempotence that
+        makes replay safe.
+        """
+        path = Path(path)
+        replay = replay_journal(path)
+        if path.exists():
+            path.replace(path.with_name(path.name + ".prev"))
+        if replay.records:
+            self._restore_accounting(replay)
+            self._journal_replays.inc()
+        self.journal = JobJournal(path)
+        self.journal.snapshot(dict(self.stats), self._tenant_event_totals())
+        for job in replay.pending:
+            try:
+                self.submit(job.request, trace_id=job.trace_id, requeued=True)
+            except ReproError as error:
+                # A replayed record for a tenant no longer in a closed
+                # roster (or similar config drift) must not stop the server.
+                log.warning(
+                    "could not re-queue journaled job %s: %s", job.job_id, error
+                )
+        if replay.records or replay.pending:
+            log.info(
+                "journal replay: %d records, %d re-queued, %d skipped",
+                replay.records,
+                len(replay.pending),
+                replay.skipped,
+            )
+        return replay
+
+    def _restore_accounting(self, replay: JournalReplay) -> None:
+        """Fold replayed totals into this (fresh) manager's accounting."""
+        for event in ("submitted", "coalesced", "completed", "failed"):
+            self.stats[event] += int(replay.totals.get(event, 0))
+        for tenant, events in replay.tenant_events.items():
+            try:
+                accounting = self.scheduler.accounting(tenant)
+            except ConfigurationError:
+                log.warning(
+                    "journal names tenant %r not in the current roster; skipped", tenant
+                )
+                continue
+            for event, count in events.items():
+                if event in JOB_EVENTS and count > 0:
+                    accounting.inc(event, count)
+
+    def _tenant_event_totals(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant lifecycle counts, shaped for a journal snapshot."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for runtime in self.scheduler.tenants():
+            events = {
+                event: int(getattr(runtime.accounting, event))
+                for event in JOB_EVENTS
+            }
+            events = {event: count for event, count in events.items() if count}
+            if events:
+                totals[runtime.spec.name] = events
+        return totals
 
     # -- submission (event-loop thread) --------------------------------
 
@@ -253,7 +400,11 @@ class JobManager:
         return LANE_BATCH if request.full else LANE_INTERACTIVE
 
     def submit(
-        self, request: JobRequest, trace_id: Optional[str] = None
+        self,
+        request: JobRequest,
+        trace_id: Optional[str] = None,
+        *,
+        requeued: bool = False,
     ) -> Tuple[JobState, bool]:
         """Admit a request; returns ``(job, coalesced)``.
 
@@ -265,6 +416,12 @@ class JobManager:
         :class:`ServiceOverloadedError` with the matching error code.
         ``trace_id`` is the submission's correlation ID; the first
         submitter's ID owns a coalesced job.
+
+        ``requeued`` marks a journal-replay re-admission: the job was
+        already admitted (and counted, and quota-charged) by a previous
+        server generation, so it bypasses admission control and is not
+        re-counted -- dropping it to a full queue would lose a job the old
+        server had acknowledged.
         """
         request = request.normalized()
         tenant = request.tenant if request.tenant is not None else self.tenancy.default_tenant
@@ -280,10 +437,14 @@ class JobManager:
             state.coalesced_submissions += 1
             self.stats["coalesced"] += 1
             accounting.inc("coalesced")
+            if self.journal is not None:
+                self.journal.coalesced(state, tenant)
             log.debug(
                 "submission coalesced with %s", state.job_id, extra={"tenant": tenant}
             )
             return state, True
+        if requeued:
+            return self._admit(request, key, tenant, lane, trace_id, requeued=True), False
         if runtime.spec.max_queued is not None and runtime.queued() >= runtime.spec.max_queued:
             accounting.inc("rejected_quota")
             self.rejections["tenant_quota_exceeded"] += 1
@@ -303,6 +464,20 @@ class JobManager:
                 tenant=tenant,
                 retry_after=self.retry_after_hint(self.scheduler.queued_total()),
             )
+        return self._admit(request, key, tenant, lane, trace_id, requeued=False), False
+
+    def _admit(
+        self,
+        request: JobRequest,
+        key: str,
+        tenant: str,
+        lane: str,
+        trace_id: Optional[str],
+        *,
+        requeued: bool,
+    ) -> JobState:
+        """Create, enqueue and journal one admitted job (admission control
+        already passed -- or was bypassed for a journal re-queue)."""
         state = JobState(
             job_id=self._next_job_id(),
             request=request,
@@ -317,16 +492,22 @@ class JobManager:
         self._work_available.set()
         self.jobs[state.job_id] = state
         self._inflight[key] = state.job_id
-        self.stats["submitted"] += 1
-        accounting.inc("admitted")
+        if not requeued:
+            # A re-queued job was counted by the generation that first
+            # admitted it; those totals arrived via the journal snapshot.
+            self.stats["submitted"] += 1
+            self.scheduler.accounting(tenant).inc("admitted")
+        if self.journal is not None:
+            self.journal.admitted(state, requeued=requeued)
         self._trim_history()
         log.info(
-            "admitted %s (%s lane)",
+            "admitted %s (%s lane)%s",
             state.job_id,
             lane,
+            " [journal re-queue]" if requeued else "",
             extra={"tenant": tenant, "trace_id": trace_id},
         )
-        return state, False
+        return state
 
     def _next_job_id(self) -> str:
         """Mint the next job id; sharded managers tag it with their shard
@@ -432,20 +613,33 @@ class JobManager:
             accounting.queue_wait.record(
                 state.started_monotonic - state.submitted_monotonic
             )
+            if self.journal is not None:
+                self.journal.dispatched(state)
             try:
-                state.result = await self._run_on_daemon_thread(state)
+                state.result = await self._supervised(state)
                 state.status = JobStatus.COMPLETED
                 self.stats["completed"] += 1
                 accounting.inc("completed")
+                if self.journal is not None:
+                    self.journal.completed(state)
             except asyncio.CancelledError:
+                # Deliberately NOT journalled as failed: the job stays
+                # admitted-but-unfinished, so the next generation's replay
+                # re-queues it -- a shutdown must never lose accepted work.
                 state.status = JobStatus.FAILED
                 state.error = "server shut down before the job finished"
                 raise
             except Exception as error:  # noqa: BLE001 -- job failure, not server failure
                 state.status = JobStatus.FAILED
                 state.error = f"{type(error).__name__}: {error}"
+                code = getattr(error, "code", None)
+                state.error_code = (
+                    code.value if isinstance(code, ErrorCode) else ErrorCode.INTERNAL.value
+                )
                 self.stats["failed"] += 1
                 accounting.inc("failed")
+                if self.journal is not None:
+                    self.journal.failed(state)
                 log.warning(
                     "job %s failed: %s",
                     state.job_id,
@@ -498,6 +692,66 @@ class JobManager:
                 # runnable again; wake any idle worker.
                 self._work_available.set()
 
+    async def _supervised(self, state: JobState) -> Any:
+        """Run one job under the supervisor: timeout, bounded retries.
+
+        Each attempt runs :meth:`_execute` on a fresh daemon thread (and a
+        fresh runner -- pool re-spawn after a worker crash is free).  A
+        configured ``job_timeout`` bounds each attempt's wall clock; on
+        expiry the job fails with :class:`JobTimeoutError` and is *not*
+        retried (a second attempt would very likely time out too).  The
+        abandoned daemon thread may keep computing harmlessly -- it reports
+        into a future whose result no longer matters, and its runner feeds
+        the shared cache, so the work is not even wasted.
+
+        Retryable failures (see :func:`is_retryable`) are re-run up to
+        ``job_retries`` times with capped exponential backoff and full
+        jitter; exhaustion fails the job with
+        :class:`JobRetriesExhaustedError` chaining the last crash.
+        """
+        attempt = 0
+        while True:
+            state.attempts = attempt + 1
+            try:
+                if self.job_timeout is not None:
+                    return await asyncio.wait_for(
+                        self._run_on_daemon_thread(state), self.job_timeout
+                    )
+                return await self._run_on_daemon_thread(state)
+            except asyncio.TimeoutError:
+                raise JobTimeoutError(
+                    f"job exceeded the {self.job_timeout:g}s execution timeout "
+                    f"(attempt {attempt + 1})"
+                ) from None
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 -- classified below
+                if not is_retryable(error):
+                    raise
+                if attempt >= self.job_retries:
+                    if self.job_retries > 0:
+                        raise JobRetriesExhaustedError(
+                            f"job failed after {attempt + 1} attempts; last error: "
+                            f"{type(error).__name__}: {error}"
+                        ) from error
+                    raise
+                delay = random.uniform(
+                    0.0, min(RETRY_BACKOFF_CAP, self.retry_backoff_base * 2**attempt)
+                )
+                self._retries_total.inc()
+                log.warning(
+                    "job %s attempt %d crashed (%s: %s); retrying in %.3fs",
+                    state.job_id,
+                    attempt + 1,
+                    type(error).__name__,
+                    error,
+                    delay,
+                    extra={"tenant": state.tenant, "trace_id": state.trace_id},
+                )
+                attempt += 1
+                if delay > 0:
+                    await asyncio.sleep(delay)
+
     def _execute(self, state: JobState) -> Any:
         """Run one job to completion in a worker thread; returns the payload.
 
@@ -516,6 +770,12 @@ class JobManager:
         hook = self.pre_execute
         if hook is not None:
             hook(state)
+        injector = get_injector()
+        if injector is not None and injector.should("kill_worker", key=state.key):
+            # The chaos harness's worker kill: a transient substrate death
+            # (fired at most once per key) the supervisor must retry past.
+            runner.close()
+            raise WorkerCrashError("fault injection: worker killed mid-job")
         request = state.request
         try:
             if request.figure is not None:
@@ -597,6 +857,7 @@ class JobManager:
             "queue_limit": self.queue_limit,
             "inflight": len(self._inflight),
             "cache_dir": None if self.cache is None else str(self.cache.root),
+            "journal": None if self.journal is None else str(self.journal.path),
             "jobs": dict(self.stats),
             "rejections": dict(self.rejections),
             "tenants": tenants_summary,

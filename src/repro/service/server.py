@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import hmac
 import re
+import signal
 import socket
 import time
 from dataclasses import dataclass, replace
@@ -66,6 +67,7 @@ from repro.common.errors import (
 from repro.common.serialize import WIRE_SCHEMA_VERSION, read_envelope, wire_envelope
 from repro.exp.cache import ResultCache
 from repro.exp.request import REQUEST_SCHEMA_VERSION, JobRequest
+from repro.faults import FaultInjector, FaultSpec, get_injector, install
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import (
@@ -82,6 +84,7 @@ from repro.service.http import (
     text_response,
 )
 from repro.service.jobs import JobManager
+from repro.service.journal import journal_path
 from repro.service.shards import (
     fetch_json,
     merge_metrics_documents,
@@ -110,6 +113,14 @@ DEFAULT_PORT = 8077
 #: A client gets this long to deliver a complete request; slow or silent
 #: connections are dropped so they cannot pin handler coroutines forever.
 READ_TIMEOUT_SECONDS = 30.0
+
+#: A peer shard is marked *suspect* after this many consecutive failed
+#: calls and excluded from fan-out/merging (no more hanging aggregate
+#: endpoints on a dead peer) ...
+SUSPECT_AFTER = 3
+#: ... until it has been left alone this long, after which one probe call
+#: is allowed through; success clears the suspicion, failure re-arms it.
+SUSPECT_RETRY_SECONDS = 5.0
 
 #: The migration note attached to responses for deprecated v1 envelopes.
 V1_DEPRECATION_NOTE = (
@@ -154,6 +165,18 @@ class ServiceConfig:
     #: (shard 0 alone otherwise); see :mod:`repro.service.shards`.
     shard_index: int = 0
     shard_count: int = 1
+    #: Per-job wall-clock execution bound in seconds (``None``/0 = off, the
+    #: default: ``--full`` campaigns legitimately run for a long time).
+    job_timeout: Optional[float] = None
+    #: Supervised retries for retryable job failures (worker crashes).
+    job_retries: int = 2
+    #: Whether to keep the durable job journal (requires a cache dir; the
+    #: journal lives beside the cached results it makes replay idempotent).
+    journal: bool = True
+    #: Seconds a SIGTERM-initiated drain waits for in-flight jobs.
+    drain_timeout: float = 10.0
+    #: Fault-spec file activating chaos injection (``None`` = no faults).
+    faults: Optional[str] = None
 
 
 class ReproService:
@@ -164,6 +187,13 @@ class ReproService:
         # One registry per server instance: embedded test servers stay
         # isolated from each other and from the process-global default.
         self.metrics = MetricsRegistry()
+        if config.faults:
+            # --faults installs process-wide (the injector is consulted from
+            # cache and shard code that never sees this instance).
+            install(FaultInjector(FaultSpec.from_file(config.faults)))
+        injector = get_injector()
+        if injector is not None:
+            injector.bind_metrics(self.metrics)
         cache = (
             ResultCache(config.cache_dir, metrics=self.metrics)
             if config.cache_dir
@@ -179,6 +209,8 @@ class ReproService:
             metrics=self.metrics,
             shard_index=config.shard_index,
             shard_count=config.shard_count,
+            job_timeout=config.job_timeout,
+            job_retries=config.job_retries,
         )
         from repro._version import __version__
 
@@ -198,6 +230,18 @@ class ReproService:
             labelnames=("endpoint",),
         )
         self._servers: List[asyncio.AbstractServer] = []
+        #: Set while a SIGTERM drain runs: polls keep being served, new
+        #: submissions get 503 + Retry-After (``ErrorCode.DRAINING``).
+        self._draining = False
+        #: Consecutive failed calls per peer shard index, and when each
+        #: suspect peer was last declared so (monotonic clock).
+        self._peer_failures: Dict[int, int] = {}
+        self._peer_suspect_since: Dict[int, float] = {}
+        self._peer_suspect_gauge = self.metrics.gauge(
+            "repro_peer_suspect",
+            "1 while the labelled peer shard is excluded as suspect",
+            labelnames=("peer",),
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -209,8 +253,16 @@ class ReproService:
         return (host, port)
 
     async def start(self) -> None:
-        await self.manager.start()
         config = self.config
+        if config.cache_dir and config.journal:
+            # Replay (and rotate) any previous generation's journal before
+            # the listeners open: re-queued jobs must be admitted before any
+            # new submission can race them, and a crashed server's accepted
+            # work is thereby never lost.
+            self.manager.recover_journal(
+                journal_path(config.cache_dir, config.shard_index)
+            )
+        await self.manager.start()
         if config.shard_count <= 1:
             self._servers = [
                 await asyncio.start_server(
@@ -253,6 +305,36 @@ class ReproService:
             await server.wait_closed()
         self._servers = []
         await self.manager.stop()
+
+    async def drain(self, timeout: float) -> bool:
+        """Graceful-shutdown drain: stop admitting, finish what's in flight.
+
+        The listeners stay open (pollers must be able to collect results and
+        peers to proxy), but ``POST /v1/jobs`` answers 503 + ``Retry-After``
+        for the duration.  Returns ``True`` when the queue and in-flight set
+        emptied within ``timeout``; on ``False`` the stragglers stay in the
+        journal as admitted-but-unfinished, so the next start re-queues them
+        -- bounded drain never means lost work.
+        """
+        self._draining = True
+        log.info("draining: rejecting new submissions, finishing in-flight jobs")
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            if (
+                self.manager.scheduler.queued_total() == 0
+                and self.manager.scheduler.inflight_total() == 0
+            ):
+                log.info("drain complete: no queued or in-flight jobs remain")
+                return True
+            await asyncio.sleep(0.05)
+        log.warning(
+            "drain timed out after %.1fs with %d queued / %d in-flight jobs "
+            "(they remain journalled for replay)",
+            timeout,
+            self.manager.scheduler.queued_total(),
+            self.manager.scheduler.inflight_total(),
+        )
+        return False
 
     async def serve_forever(self) -> None:
         assert self._servers, "start() must run before serve_forever()"
@@ -391,6 +473,7 @@ class ReproService:
         if path == "/v1/healthz":
             _require(method, "GET")
             document = self.manager.health()
+            document["draining"] = self._draining
             if sharded:
                 document["shard"] = self._shard_info()
             return json_response(
@@ -427,6 +510,24 @@ class ReproService:
             return text_response(200, self.metrics.render_text())
         if path == "/v1/jobs":
             _require(method, "POST")
+            injector = get_injector()
+            if injector is not None and injector.should("http_500"):
+                return _error_response(
+                    500,
+                    "fault injection: forced server error",
+                    code=ErrorCode.INTERNAL,
+                    trace_id=trace_id,
+                )
+            if self._draining:
+                retry_after = max(1, int(self.config.drain_timeout))
+                return _error_response(
+                    503,
+                    "server is draining for shutdown; retry against another instance",
+                    code=ErrorCode.DRAINING,
+                    retry_after=retry_after,
+                    extra=(("Retry-After", str(retry_after)),),
+                    trace_id=trace_id,
+                )
             job_request, deprecated = self._submission_request(request)
             state, coalesced = self.manager.submit(job_request, trace_id=trace_id)
             receipt = {
@@ -489,6 +590,42 @@ class ReproService:
 
     # -- cross-shard helpers -------------------------------------------
 
+    def _peer_usable(self, index: int) -> bool:
+        """Whether peer ``index`` should be called at all right now.
+
+        Healthy and not-yet-suspect peers are always usable; a suspect peer
+        is skipped until :data:`SUSPECT_RETRY_SECONDS` have passed, then one
+        probe call is let through (its outcome re-arms or clears suspicion).
+        """
+        if self._peer_failures.get(index, 0) < SUSPECT_AFTER:
+            return True
+        since = self._peer_suspect_since.get(index, 0.0)
+        return time.monotonic() - since >= SUSPECT_RETRY_SECONDS
+
+    def _peer_ok(self, index: int) -> None:
+        """A call to peer ``index`` succeeded: clear any suspicion."""
+        if self._peer_failures.get(index, 0) >= SUSPECT_AFTER:
+            log.info("peer shard %d recovered; resuming fan-out to it", index)
+        self._peer_failures[index] = 0
+        self._peer_suspect_since.pop(index, None)
+        self._peer_suspect_gauge.labels(str(index)).set(0)
+
+    def _peer_failed(self, index: int) -> None:
+        """A call to peer ``index`` failed: count toward (or renew) suspicion."""
+        count = self._peer_failures.get(index, 0) + 1
+        self._peer_failures[index] = count
+        if count >= SUSPECT_AFTER:
+            self._peer_suspect_since[index] = time.monotonic()
+            self._peer_suspect_gauge.labels(str(index)).set(1)
+            if count == SUSPECT_AFTER:
+                log.warning(
+                    "peer shard %d marked suspect after %d consecutive failures; "
+                    "excluding it from fan-out for %.0fs",
+                    index,
+                    count,
+                    SUSPECT_RETRY_SECONDS,
+                )
+
     def _shard_info(self) -> Dict[str, Any]:
         """This shard's place in the group, for health/stats documents."""
         config = self.config
@@ -505,21 +642,29 @@ class ReproService:
 
         Unreachable or misbehaving peers are skipped (the merged document's
         ``shards.responding`` records the shortfall): a wedged peer must
-        never take the aggregate endpoints down with it.
+        never take the aggregate endpoints down with it.  Suspect peers
+        (:meth:`_peer_usable`) are not even dialled until their probe window
+        opens; call outcomes feed the suspicion tracking.
         """
         config = self.config
         host = peer_host(config.host)
+        indexes = [
+            index
+            for index in range(config.shard_count)
+            if index != config.shard_index and self._peer_usable(index)
+        ]
         fetches = [
             fetch_json(host, shard_port(config.port, index), path)
-            for index in range(config.shard_count)
-            if index != config.shard_index
+            for index in indexes
         ]
         outcomes = await asyncio.gather(*fetches, return_exceptions=True)
         payloads: List[Dict[str, Any]] = []
-        for outcome in outcomes:
+        for index, outcome in zip(indexes, outcomes):
             if isinstance(outcome, BaseException):
                 log.debug("peer %s fetch failed: %s", kind, outcome)
+                self._peer_failed(index)
                 continue
+            self._peer_ok(index)
             status, body = outcome
             if status != 200 or not isinstance(body, dict):
                 continue
@@ -547,6 +692,8 @@ class ReproService:
         config = self.config
         if owner == config.shard_index or owner >= config.shard_count:
             return None
+        if not self._peer_usable(owner):
+            return None
         include = request.query.get("result", "1")
         path = f"/v1/jobs/{job_id}?result={include}&scope=local"
         try:
@@ -554,7 +701,9 @@ class ReproService:
                 peer_host(config.host), shard_port(config.port, owner), path
             )
         except (OSError, asyncio.TimeoutError, ValueError):
+            self._peer_failed(owner)
             return None
+        self._peer_ok(owner)
         if not isinstance(body, dict):
             return None
         return json_response(status, body)
@@ -568,24 +717,33 @@ class ReproService:
         """
         config = self.config
         host = peer_host(config.host)
+        indexes = [
+            index
+            for index in range(config.shard_count)
+            if index != config.shard_index and self._peer_usable(index)
+        ]
         fetches = [
             fetch_json(
                 host, shard_port(config.port, index), f"/v1/results/{key}?scope=local"
             )
-            for index in range(config.shard_count)
-            if index != config.shard_index
+            for index in indexes
         ]
         outcomes = await asyncio.gather(*fetches, return_exceptions=True)
-        for outcome in outcomes:
+        result: Optional[Any] = None
+        for index, outcome in zip(indexes, outcomes):
             if isinstance(outcome, BaseException):
+                self._peer_failed(index)
+                continue
+            self._peer_ok(index)
+            if result is not None:
                 continue
             status, body = outcome
             if status != 200 or not isinstance(body, dict):
                 continue
             payload = body.get("payload")
             if isinstance(payload, dict) and payload.get("result") is not None:
-                return payload["result"]
-        return None
+                result = payload["result"]
+        return result
 
 
 def _merge_field(name: str, envelope_value: Any, payload_value: Any) -> Any:
@@ -654,7 +812,12 @@ def _error_response(
 
 
 async def run_service(config: ServiceConfig) -> None:
-    """Start the service and serve until cancelled (the ``serve`` CLI verb)."""
+    """Start the service and serve until cancelled (the ``serve`` CLI verb).
+
+    SIGTERM triggers a graceful shutdown: in-flight jobs drain (bounded by
+    ``config.drain_timeout``), new submissions get 503 + ``Retry-After``
+    meanwhile, the journal is flushed on stop, and the process exits 0.
+    """
     service = ReproService(config)
     await service.start()
     host, port = service.address
@@ -681,11 +844,30 @@ async def run_service(config: ServiceConfig) -> None:
         WIRE_SCHEMA_VERSION,
         shard,
     )
+    loop = asyncio.get_running_loop()
+    terminated = asyncio.Event()
     try:
-        await service.serve_forever()
+        loop.add_signal_handler(signal.SIGTERM, terminated.set)
+        sigterm_handled = True
+    except (NotImplementedError, RuntimeError, ValueError):
+        # Non-main thread or a platform without signal-handler support
+        # (Windows event loops): fall back to cancellation-only shutdown.
+        sigterm_handled = False
+    serve_task = asyncio.ensure_future(service.serve_forever())
+    stop_task = asyncio.ensure_future(terminated.wait())
+    try:
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+        if terminated.is_set():
+            log.info("SIGTERM received: beginning graceful drain")
+            await service.drain(config.drain_timeout)
     except asyncio.CancelledError:
         pass
     finally:
+        serve_task.cancel()
+        stop_task.cancel()
+        await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+        if sigterm_handled:
+            loop.remove_signal_handler(signal.SIGTERM)
         await service.stop()
 
 

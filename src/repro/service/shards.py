@@ -37,6 +37,7 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.faults import get_injector
 from repro.obs.logs import get_logger
 from repro.obs.metrics import (
     SUMMARY_QUANTILES,
@@ -98,7 +99,19 @@ async def fetch_json(
     ``OSError`` / ``asyncio.TimeoutError`` on connection trouble and
     ``ValueError`` on an unparseable response -- callers treat any of those
     as "peer not responding" and merge without it.
+
+    This is also the chaos harness's peer-level injection point: an active
+    ``drop_peer`` fault fails the call before dialling (exactly what a dead
+    peer looks like to the caller) and ``delay_peer`` stalls it first
+    (exercising the fetch timeout and the suspect-peer accounting).
     """
+    injector = get_injector()
+    if injector is not None:
+        delay = injector.peer_delay()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if injector.should("drop_peer"):
+            raise OSError(f"fault injection: peer call to {host}:{port} dropped")
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout
     )
@@ -415,8 +428,16 @@ def serve_sharded(config: Any, log_level: str = "info", log_json: bool = False) 
     except KeyboardInterrupt:
         log.info("shard supervisor interrupted; stopping shards")
     finally:
+        # terminate() is SIGTERM: each shard runs its graceful drain
+        # (bounded by drain_timeout) and flushes its journal, so give them
+        # that long before escalating to SIGKILL.
         for process in processes:
             if process.is_alive():
                 process.terminate()
+        grace = float(getattr(config, "drain_timeout", 10.0)) + 5.0
         for process in processes:
-            process.join(timeout=5.0)
+            process.join(timeout=grace)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - drain wedged
+                process.kill()
+                process.join(timeout=5.0)

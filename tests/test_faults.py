@@ -1,0 +1,230 @@
+"""Tests for the fault-injection registry (repro.faults).
+
+Spec parsing must reject typos loudly (a misspelt site would silently
+disable a fault), decisions must be deterministic per seed (a chaos
+failure has to reproduce), keyed decisions fire at most once per key (so
+supervised retries can succeed), and lifetime caps hold.  The
+process-global install paths (explicit and via ``REPRO_FAULTS``) are
+covered too, including the test-only re-arm semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults import (
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    get_injector,
+    install,
+    install_from_env,
+    uninstall,
+)
+from repro.faults.chaos import DEFAULT_FAULT_SPEC, ChaosConfig
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_injection(monkeypatch):
+    """Each test starts (and leaves) with injection fully disabled."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    uninstall()
+    yield
+    uninstall()
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+
+
+def test_spec_rejects_unknown_site() -> None:
+    with pytest.raises(ConfigurationError, match="unknown fault sites"):
+        FaultSpec.from_dict({"seed": 1, "kill_wroker": {"rate": 0.5}})
+
+
+def test_spec_rejects_unknown_setting() -> None:
+    with pytest.raises(ConfigurationError, match="unknown settings"):
+        FaultSpec.from_dict({"kill_worker": {"rate": 0.5, "probability": 1}})
+
+
+@pytest.mark.parametrize(
+    "settings",
+    [{"rate": -0.1}, {"rate": 1.5}, {"rate": 0.5, "max": -1}, {"rate": 0.5, "seconds": -1}],
+)
+def test_spec_rejects_out_of_range_settings(settings) -> None:
+    with pytest.raises(ConfigurationError):
+        FaultSpec.from_dict({"delay_peer": settings})
+
+
+def test_spec_rejects_non_mapping_inputs() -> None:
+    with pytest.raises(ConfigurationError, match="fault-spec mapping"):
+        FaultSpec.from_dict(["kill_worker"])
+    with pytest.raises(ConfigurationError, match="settings mapping"):
+        FaultSpec.from_dict({"kill_worker": 0.5})
+
+
+def test_spec_from_file_errors(tmp_path) -> None:
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        FaultSpec.from_file(str(tmp_path / "absent.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="not valid JSON"):
+        FaultSpec.from_file(str(bad))
+
+
+def test_spec_round_trips_through_to_dict() -> None:
+    spec = FaultSpec.from_dict(DEFAULT_FAULT_SPEC)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_default_chaos_spec_names_every_site() -> None:
+    spec = FaultSpec.from_dict(DEFAULT_FAULT_SPEC)
+    assert set(spec.sites) == set(FAULT_SITES)
+
+
+# ----------------------------------------------------------------------
+# Injection decisions
+# ----------------------------------------------------------------------
+
+
+def _spec(**sites) -> FaultSpec:
+    return FaultSpec.from_dict({"seed": 1234, **sites})
+
+
+def test_decisions_are_deterministic_per_seed() -> None:
+    spec = _spec(http_500={"rate": 0.5})
+    first = [FaultInjector(spec).should("http_500") for _ in range(1)]
+    # Two injectors built from the same spec take identical decision
+    # sequences; a different seed diverges (200 fair-coin draws).
+    a = FaultInjector(spec)
+    b = FaultInjector(spec)
+    assert [a.should("http_500") for _ in range(200)] == [
+        b.should("http_500") for _ in range(200)
+    ]
+    other = FaultSpec.from_dict({"seed": 4321, "http_500": {"rate": 0.5}})
+    c = FaultInjector(other)
+    assert [a.should("http_500") for _ in range(200)] != [
+        c.should("http_500") for _ in range(200)
+    ]
+    assert first in ([True], [False])  # smoke: the single-draw path works too
+
+
+def test_keyed_decisions_fire_at_most_once_per_key() -> None:
+    injector = FaultInjector(_spec(kill_worker={"rate": 1.0}))
+    assert injector.should("kill_worker", key="job-a")
+    assert not injector.should("kill_worker", key="job-a")
+    assert injector.should("kill_worker", key="job-b")
+
+
+def test_lifetime_max_caps_injections() -> None:
+    injector = FaultInjector(_spec(http_500={"rate": 1.0, "max": 2}))
+    fired = [injector.should("http_500") for _ in range(10)]
+    assert fired.count(True) == 2
+    assert injector.counts["http_500"] == 2
+
+
+def test_unconfigured_site_never_fires() -> None:
+    injector = FaultInjector(_spec(http_500={"rate": 1.0}))
+    assert not injector.should("drop_peer")
+    injector = FaultInjector(_spec(drop_peer={"rate": 0.0}))
+    assert not injector.should("drop_peer")
+
+
+def test_peer_delay_returns_configured_seconds() -> None:
+    injector = FaultInjector(_spec(delay_peer={"rate": 1.0, "seconds": 0.25}))
+    assert injector.peer_delay() == 0.25
+    assert FaultInjector(_spec()).peer_delay() == 0.0
+
+
+def test_bind_metrics_mirrors_injection_counts() -> None:
+    registry = MetricsRegistry()
+    injector = FaultInjector(_spec(http_500={"rate": 1.0, "max": 3}))
+    injector.bind_metrics(registry)
+    for _ in range(5):
+        injector.should("http_500")
+    counter = registry.counter(
+        "repro_faults_injected_total",
+        "Faults injected by the chaos harness, by site",
+        labelnames=("site",),
+    )
+    assert counter.labels("http_500").value == 3
+
+
+# ----------------------------------------------------------------------
+# Process-global install paths
+# ----------------------------------------------------------------------
+
+
+def test_env_inline_json_installs_injector(monkeypatch) -> None:
+    monkeypatch.setenv(FAULTS_ENV, json.dumps({"seed": 9, "http_500": {"rate": 1.0}}))
+    uninstall()  # re-arm the lazy env check
+    injector = get_injector()
+    assert injector is not None
+    assert injector.spec.seed == 9
+    assert injector.should("http_500")
+
+
+def test_env_file_path_installs_injector(tmp_path, monkeypatch) -> None:
+    spec_path = tmp_path / "faults.json"
+    spec_path.write_text(json.dumps({"seed": 5, "drop_peer": {"rate": 1.0}}))
+    monkeypatch.setenv(FAULTS_ENV, str(spec_path))
+    uninstall()
+    injector = get_injector()
+    assert injector is not None
+    assert injector.should("drop_peer")
+
+
+def test_env_invalid_inline_json_is_loud(monkeypatch) -> None:
+    monkeypatch.setenv(FAULTS_ENV, "{definitely not json")
+    with pytest.raises(ConfigurationError, match="invalid inline JSON"):
+        install_from_env()
+
+
+def test_env_empty_means_disabled(monkeypatch) -> None:
+    monkeypatch.setenv(FAULTS_ENV, "")
+    uninstall()
+    assert get_injector() is None
+
+
+def test_install_none_overrides_environment(monkeypatch) -> None:
+    monkeypatch.setenv(FAULTS_ENV, json.dumps({"http_500": {"rate": 1.0}}))
+    install(None)
+    # install() marks the env as consulted, so the variable is not re-read.
+    assert get_injector() is None
+
+
+# ----------------------------------------------------------------------
+# Chaos harness configuration
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"shards": 0},
+        {"submissions": 0},
+        {"clients": 0},
+        {"max_error_rate": 1.5},
+        {"max_error_rate": -0.1},
+    ],
+)
+def test_chaos_config_rejects_bad_settings(overrides) -> None:
+    with pytest.raises(ConfigurationError):
+        ChaosConfig(**overrides)
+
+
+def test_chaos_cli_verb_is_wired() -> None:
+    from repro.exp.cli import build_parser, run_chaos_command
+
+    args = build_parser().parse_args(
+        ["chaos", "--no-restart", "--submissions", "5", "--seed", "3"]
+    )
+    assert args.handler is run_chaos_command
+    assert args.no_restart is True
+    assert args.submissions == 5

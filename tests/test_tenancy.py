@@ -536,7 +536,11 @@ def test_greedy_tenant_cannot_starve_interactive_submissions(tmp_path) -> None:
         beta_receipt = beta.submit(figure="sec52", seed=100, priority="interactive")
         release.set()
         start = time.monotonic()
-        view = beta.wait(beta_receipt.job_id, timeout=WAIT_TIMEOUT)
+        # Tight poll interval: the queued-backlog assertion below depends on
+        # *detecting* beta's completion before alpha's 0.03s/job flood
+        # drains, and the client's default full-jitter poll backoff can
+        # legitimately sleep past that window.
+        view = beta.wait(beta_receipt.job_id, timeout=WAIT_TIMEOUT, poll_interval=0.01)
         beta_wall = time.monotonic() - start
         assert view["status"] == "completed"
         # Beta finished while most of alpha's backlog was still queued: the
